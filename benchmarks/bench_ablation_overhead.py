@@ -1,0 +1,41 @@
+"""Ablation A3 — the byte cost of duration-based splicing.
+
+Quantifies the paper's "the duration based splicing requires much more
+data to be transferred than the GOP based splicing": total bytes and
+overhead percentage per technique.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_overhead
+
+
+def test_ablation_splicing_overhead(benchmark, paper_video, emit):
+    rows = benchmark.pedantic(
+        run_overhead,
+        kwargs={"video": paper_video},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"{'technique':12s} {'segments':>8s} {'total MB':>9s} "
+        f"{'overhead':>9s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.technique:12s} {row.segments:8d} "
+            f"{row.total_bytes / 1e6:9.2f} "
+            f"{row.overhead_percent:8.1f}%"
+        )
+    emit("\n".join(lines))
+
+    by_name = {row.technique: row for row in rows}
+    assert by_name["gop"].overhead_bytes == 0
+    # Overhead shrinks monotonically as segments grow.
+    percents = [
+        by_name[f"duration-{d}s"].overhead_percent for d in (1, 2, 4, 8)
+    ]
+    assert percents == sorted(percents, reverse=True)
+    # The 1-second extreme is "much more data": several percent.
+    assert percents[0] > 5.0

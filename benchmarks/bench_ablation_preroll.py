@@ -1,0 +1,40 @@
+"""Ablation A7 — pre-roll depth: trading startup for stalls.
+
+The paper's client plays as soon as the first segment lands; HLS
+players pre-roll several segments.  Deeper pre-roll must cut stalls
+and cost startup.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_preroll
+from repro.experiments.report import format_figure
+
+
+def test_ablation_preroll(benchmark, experiment_config, paper_video, emit):
+    result = benchmark.pedantic(
+        run_preroll,
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "bandwidth_kb": 256,
+            "prerolls": (1, 2, 3),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    cells = {
+        label: cells[0] for label, cells in result.series.items()
+    }
+    # Deeper pre-roll never stalls more...
+    assert (
+        cells["preroll 3"].stall_count
+        <= cells["preroll 1"].stall_count
+    )
+    # ...and never starts faster.
+    assert (
+        cells["preroll 3"].startup_time
+        >= cells["preroll 1"].startup_time
+    )

@@ -1,0 +1,46 @@
+"""Ablation A8 — swarm scaling: P2P sheds load from the origin.
+
+The paper motivates P2P with scalability; growing the swarm should
+shift traffic from the seeder to the peers without degrading playback.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_swarm_scaling
+from repro.experiments.report import format_figure
+
+SIZES = (5, 10, 19, 38)
+
+
+def test_ablation_swarm_scaling(
+    benchmark, experiment_config, paper_video, emit
+):
+    result = benchmark.pedantic(
+        run_swarm_scaling,
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "bandwidth_kb": 256,
+            "swarm_sizes": SIZES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [format_figure(result), "", "origin share of served bytes:"]
+    shares = {}
+    for label, cells in result.series.items():
+        cell = cells[0]
+        share = cell.seeder_bytes / max(
+            1.0, cell.seeder_bytes + cell.peer_bytes
+        )
+        shares[label] = share
+        lines.append(f"  {label:>9s}: {100 * share:5.1f}%")
+    emit("\n".join(lines))
+
+    # The origin's share of the bytes shrinks as the swarm grows.
+    assert shares[f"{SIZES[-1]} peers"] < shares[f"{SIZES[0]} peers"]
+    # Playback stays healthy at every size.
+    for label, cells in result.series.items():
+        assert cells[0].finished_fraction == 1.0
+        assert cells[0].stall_count < 15.0

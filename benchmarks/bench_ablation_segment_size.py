@@ -1,0 +1,43 @@
+"""Ablation A1 — segment-duration sweep (the Section IV sweet spot).
+
+The paper argues segments must be neither too small (TCP connection
+overhead) nor too large (coarse scheduling) but leaves the optimum
+open.  This sweep runs a wider duration range than the paper's 2/4/8.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_segment_size_sweep
+from repro.experiments.report import format_figure
+
+DURATIONS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_ablation_segment_size_sweep(
+    benchmark, experiment_config, paper_video, emit
+):
+    result = benchmark.pedantic(
+        run_segment_size_sweep,
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "bandwidths_kb": (128, 512),
+            "durations": DURATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    def stalls(duration, bw):
+        cells = result.series[f"duration-{int(duration)}s"]
+        return next(
+            cell.stall_count
+            for cell in cells
+            if cell.bandwidth_kb == bw
+        )
+
+    # At 128 kB/s the extremes lose to the middle: 1 s pays overhead +
+    # connection churn, 16 s is coarser than the whole buffer.
+    assert stalls(1.0, 128) > stalls(4.0, 128)
+    assert stalls(16.0, 128) > stalls(4.0, 128)

@@ -1,0 +1,40 @@
+"""Ablation A9 — TCP vs a PPSPP/Libswift-style UDP transport.
+
+The paper streams over TCP; the IETF's UDP streaming protocols it
+cites avoid the Mathis loss ceiling and the small-window timeout
+collapse.  The delay-based transport should soften the 2-second
+splicing's low-bandwidth pathology.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_figure
+from repro.experiments.transport_study import run as run_transport
+
+
+def _by_bw(cells):
+    return {cell.bandwidth_kb: cell for cell in cells}
+
+
+def test_ablation_transport(
+    benchmark, experiment_config, paper_video, emit
+):
+    result = benchmark.pedantic(
+        run_transport,
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "bandwidths_kb": (128, 256, 512),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    tcp = _by_bw(result.series["tcp"])
+    udp = _by_bw(result.series["ppspp-udp"])
+    # The delay-based transport never does worse, and wins where TCP's
+    # loss ceiling binds (the scarce end).
+    for bw in (128, 256):
+        assert udp[bw].stall_count <= tcp[bw].stall_count * 1.1
+    assert udp[128].stall_count < tcp[128].stall_count

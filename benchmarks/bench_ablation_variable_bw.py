@@ -1,0 +1,37 @@
+"""Ablation A4 — variable bandwidth (the paper's future work).
+
+"An experiment should be conducted to measure the effect of splicing
+on variable bandwidth environment."  Every peer's access bandwidth
+follows a square wave; the splicing comparison is re-run on top.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_variable_bandwidth
+from repro.experiments.report import format_figure
+
+
+def test_ablation_variable_bandwidth(
+    benchmark, experiment_config, paper_video, emit
+):
+    result = benchmark.pedantic(
+        run_variable_bandwidth,
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "base_kb": 256,
+            "amplitude": 0.5,
+            "period": 20.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    stalls = {
+        label: cells[0].stall_count
+        for label, cells in result.series.items()
+    }
+    # The paper's ordering survives oscillation: GOP-based splicing
+    # still stalls more than 4-second duration splicing.
+    assert stalls["gop"] > stalls["duration-4s"]

@@ -1,0 +1,37 @@
+"""Figure 1 — the request RSpec of the experimental slice.
+
+The paper's Fig. 1 is an RSpec snippet showing a shaped link.  This
+bench regenerates the full 20-node slice document, round-trips it
+through XML, and micro-benchmarks the build/serialize/parse pipeline
+(the only genuinely CPU-bound step of the testbed layer).
+"""
+
+from __future__ import annotations
+
+from repro.testbed import parse_rspec, star_rspec
+
+
+def build_and_roundtrip():
+    document = star_rspec(
+        n_peers=19,
+        capacity_kbps=8192,
+        latency_ms=12.5,
+        packet_loss=0.0253,
+    )
+    xml = document.to_xml()
+    return document, parse_rspec(xml), xml
+
+
+def test_fig1_rspec_roundtrip(benchmark, emit):
+    document, parsed, xml = benchmark(build_and_roundtrip)
+
+    start = xml.index("<link")
+    end = xml.index("</link>") + len("</link>")
+    emit(xml[start:end])
+
+    assert len(parsed.nodes) == 21  # 19 peers + seeder + switch
+    assert len(parsed.links) == 20
+    for link in parsed.links:
+        assert link.capacity_kbps == 8192
+        assert link.latency_ms == 12.5
+        assert link.packet_loss == 0.0253

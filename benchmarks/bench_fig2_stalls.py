@@ -1,0 +1,48 @@
+"""Figure 2 — total number of stalls for different bandwidths.
+
+Regenerates the paper's stall-count series (GOP vs 2/4/8-second
+duration splicing, 128-768 kB/s, 19 peers, 3 seeded runs averaged) and
+asserts the paper's qualitative orderings.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+from repro.experiments.report import format_figure
+
+
+def _by_bw(cells):
+    return {cell.bandwidth_kb: cell for cell in cells}
+
+
+def test_fig2_stall_counts(benchmark, experiment_config, paper_video, emit):
+    result = benchmark.pedantic(
+        fig2.run,
+        kwargs={"config": experiment_config, "video": paper_video},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    gop = _by_bw(result.series["gop"])
+    two = _by_bw(result.series["duration-2s"])
+    four = _by_bw(result.series["duration-4s"])
+    eight = _by_bw(result.series["duration-8s"])
+
+    # GOP-based splicing causes more stalls than duration-based
+    # splicing (the headline claim) at every bandwidth above the
+    # saturated low end.
+    for bw in (256, 512, 768):
+        assert gop[bw].stall_count > four[bw].stall_count
+
+    # 2-second segments stall more than 4-second segments when
+    # bandwidth is small...
+    assert two[128].stall_count > four[128].stall_count
+    assert two[256].stall_count > four[256].stall_count
+
+    # ...and 8-second segments stall more than 4-second at the low end.
+    assert eight[128].stall_count > four[128].stall_count
+
+    # Every series decreases as bandwidth grows.
+    for series in (gop, two, four, eight):
+        assert series[768].stall_count <= series[128].stall_count

@@ -1,0 +1,33 @@
+"""Figure 3 — total stall duration for different bandwidths.
+
+Regenerates the stall-duration series for the same sweep as Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+from repro.experiments.report import format_figure
+
+
+def _by_bw(cells):
+    return {cell.bandwidth_kb: cell for cell in cells}
+
+
+def test_fig3_stall_durations(benchmark, experiment_config, paper_video, emit):
+    result = benchmark.pedantic(
+        fig3.run,
+        kwargs={"config": experiment_config, "video": paper_video},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    # Stall time collapses as bandwidth grows, for every technique.
+    for label, cells in result.series.items():
+        series = _by_bw(cells)
+        assert series[768].stall_duration < series[128].stall_duration
+
+    # At the top bandwidth every technique is near-smooth (the paper's
+    # series all approach zero on the right edge of the figure).
+    for cells in result.series.values():
+        assert _by_bw(cells)[768].stall_duration < 60.0

@@ -1,0 +1,47 @@
+"""Figure 4 — startup time for different bandwidths.
+
+Regenerates the startup-time series (2/4/8-second segments,
+128-1024 kB/s) and asserts the paper's shape: larger segments start
+slower, with the gap largest at low bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+from repro.experiments.report import format_figure
+
+
+def _by_bw(cells):
+    return {cell.bandwidth_kb: cell for cell in cells}
+
+
+def test_fig4_startup_times(benchmark, experiment_config, paper_video, emit):
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs={"config": experiment_config, "video": paper_video},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result, precision=2))
+
+    two = _by_bw(result.series["2 sec segment"])
+    four = _by_bw(result.series["4 sec segment"])
+    eight = _by_bw(result.series["8 sec segment"])
+
+    # Larger segments start slower at every bandwidth.
+    for bw in (128, 256, 512, 1024):
+        assert (
+            two[bw].startup_time
+            < four[bw].startup_time
+            < eight[bw].startup_time
+        )
+
+    # "The large segments can result in a very high startup time in a
+    # low bandwidth network": the 8 s gap is largest at 128 kB/s.
+    gap_low = eight[128].startup_time - two[128].startup_time
+    gap_high = eight[1024].startup_time - two[1024].startup_time
+    assert gap_low > gap_high
+
+    # Startup falls with bandwidth for every series.
+    for series in (two, four, eight):
+        assert series[1024].startup_time <= series[128].startup_time

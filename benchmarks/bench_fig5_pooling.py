@@ -1,0 +1,50 @@
+"""Figure 5 — total number of stalls for different pool sizes.
+
+Regenerates the downloading-policy comparison: the paper's adaptive
+pooling (Eq. 1) against fixed pools of 2, 4, and 8 segments on
+4-second splicing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5
+from repro.experiments.report import format_figure
+
+
+def _by_bw(cells):
+    return {cell.bandwidth_kb: cell for cell in cells}
+
+
+def test_fig5_pool_policies(benchmark, experiment_config, paper_video, emit):
+    result = benchmark.pedantic(
+        fig5.run,
+        kwargs={"config": experiment_config, "video": paper_video},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure(result))
+
+    adaptive = _by_bw(result.series["Adaptive pooling"])
+    fixed = {
+        size: _by_bw(result.series[f"Pool size: {size}"])
+        for size in (2, 4, 8)
+    }
+
+    # Adaptive pooling results in the fewest stalls where bandwidth is
+    # scarce (the paper's Section VI-B claim).
+    for size in (2, 4, 8):
+        assert (
+            adaptive[128].stall_count <= fixed[size][128].stall_count
+        )
+
+    # Deep fixed pools also delay segment 0 massively at low
+    # bandwidth (the prefetches share the downlink with it).
+    assert (
+        fixed[8][128].startup_time > 3 * adaptive[128].startup_time
+    )
+
+    # With sufficient bandwidth a large pool is harmless — all
+    # policies converge to (near) zero stalls.
+    for size in (2, 4, 8):
+        assert fixed[size][768].stall_count <= 1.0
+    assert adaptive[768].stall_count <= 2.0

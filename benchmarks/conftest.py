@@ -1,0 +1,45 @@
+"""Benchmark fixtures: the paper's video, encoded once per session."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import ExperimentConfig, make_paper_video
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The paper's full-scale setup: 19 peers, 3 seeds per cell."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def paper_video(experiment_config):
+    """The 2-minute nominal-1-Mbps experimental video."""
+    return make_paper_video(experiment_config)
+
+
+@pytest.fixture()
+def emit(request):
+    """Print a reproduced table and persist it to benchmarks/results/.
+
+    pytest captures stdout, so the durable copy under ``results/`` is
+    what survives a plain ``pytest benchmarks/ --benchmark-only`` run.
+    """
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        name = request.node.name.removeprefix("test_")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Bitrate adaptation vs duration adaptation — the paper's premise.
+
+"As they keep the duration of the segment constant and vary the
+bit-rates, it will degrade the video quality ...  Instead of varying
+the bit-rate, we can vary the segment duration."
+
+Runs a buffer-based ABR client, the duration-adaptive client, and a
+non-adaptive top-quality client against the same CDN at several
+bandwidths, and prints stalls, startup, and delivered quality.
+
+Usage::
+
+    python examples/abr_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.abr_study import format_rows, run
+
+
+def main() -> None:
+    rows = run(bandwidths_kb=(96, 128, 192, 256))
+    print(format_rows(rows))
+    print()
+    print(
+        "Reading: the ABR client never stalls but ships fewer bits "
+        "(quality column);\nthe duration-adaptive client keeps full "
+        "quality and beats the non-adaptive\nclient on stalls where "
+        "bandwidth is scarce, paying in startup time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "Video Splicing Techniques for P2P Video
+Streaming" (Islam & Khan, ICDCS 2015).
+
+The package implements the paper's full stack in pure Python: a
+synthetic MPEG-4 video model, GOP- and duration-based splicers, the
+adaptive download-pool policy (Eq. 1), a discrete-event flow/TCP
+network simulator, a BitTorrent-like streaming swarm, playback metrics
+(stalls / startup), a hybrid CDN mode, a GENI-style RSpec testbed
+layer, and an experiment harness regenerating every figure.
+
+Quickstart::
+
+    from repro import (
+        encode_paper_video, DurationSplicer, Swarm, SwarmConfig, kB_per_s,
+    )
+
+    video = encode_paper_video(seed=1)
+    splice = DurationSplicer(4.0).splice(video)
+    swarm = Swarm(splice, SwarmConfig(bandwidth=kB_per_s(512)))
+    result = swarm.run()
+    print(result.mean_stall_count(), result.mean_startup_time())
+"""
+
+from .core import (
+    AdaptiveDurationPlanner,
+    AdaptivePoolPolicy,
+    DownloadPolicy,
+    DurationSplicer,
+    FixedPoolPolicy,
+    GopSplicer,
+    Segment,
+    SpliceResult,
+    Splicer,
+    adaptive_pool_size,
+    max_cdn_segment_size,
+)
+from .errors import ReproError
+from .p2p import Swarm, SwarmConfig
+from .player import Player, PlayerState, StreamingMetrics
+from .units import kB_per_s, kbps, kilobytes, mbps, megabytes
+from .video import (
+    Bitstream,
+    EncoderConfig,
+    SyntheticEncoder,
+    encode_paper_video,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveDurationPlanner",
+    "AdaptivePoolPolicy",
+    "Bitstream",
+    "DownloadPolicy",
+    "DurationSplicer",
+    "EncoderConfig",
+    "FixedPoolPolicy",
+    "GopSplicer",
+    "Player",
+    "PlayerState",
+    "ReproError",
+    "Segment",
+    "SpliceResult",
+    "Splicer",
+    "StreamingMetrics",
+    "Swarm",
+    "SwarmConfig",
+    "SyntheticEncoder",
+    "adaptive_pool_size",
+    "encode_paper_video",
+    "kB_per_s",
+    "kbps",
+    "kilobytes",
+    "max_cdn_segment_size",
+    "mbps",
+    "megabytes",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Hybrid CDN + P2P session orchestration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.segment_size import max_cdn_segment_size
+from ..core.segments import SpliceResult
+from ..core.splicer import DurationSplicer
+from ..errors import ConfigurationError
+from ..p2p.swarm import Swarm, SwarmConfig, SwarmResult
+from ..video.bitstream import Bitstream
+
+
+def cdn_segment_duration(
+    bitrate: float,
+    bandwidth: float,
+    target_buffer: float,
+    candidates: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+) -> float:
+    """Pick a CDN segment duration by the paper's Section-IV rule.
+
+    With one-at-a-time CDN fetching, a segment must be no larger than
+    ``B * T`` bytes or it cannot finish before the buffer drains.  At a
+    steady-state buffer of ``target_buffer`` seconds, a segment of
+    duration ``d`` is ``bitrate/8 * d`` bytes, so the rule admits every
+    ``d`` with ``bitrate/8 * d <= B * target_buffer``; the largest
+    admissible candidate maximizes throughput ("keeping the segment
+    large ... increases the total throughput") while staying safe.
+
+    Args:
+        bitrate: video bitrate in bits/second.
+        bandwidth: CDN-path bandwidth ``B`` in bytes/second.
+        target_buffer: steady-state buffered playtime ``T``, seconds.
+        candidates: allowed segment durations, seconds.
+
+    Returns:
+        The chosen duration in seconds (the smallest candidate when
+        none is admissible — a too-small segment stalls less than a
+        too-large one).
+    """
+    if bitrate <= 0:
+        raise ConfigurationError(f"bitrate must be positive: {bitrate}")
+    if not candidates:
+        raise ConfigurationError("candidates must be non-empty")
+    limit = max_cdn_segment_size(bandwidth, target_buffer)
+    admissible = [
+        d for d in candidates if bitrate / 8.0 * d <= limit
+    ]
+    if not admissible:
+        return min(candidates)
+    return max(admissible)
+
+
+@dataclass(frozen=True, slots=True)
+class HybridConfig:
+    """Configuration of a hybrid CDN+P2P session.
+
+    Attributes:
+        swarm: the underlying swarm parameters; its
+            ``origin_one_at_a_time`` flag is forced on and its
+            ``seeder_bandwidth`` doubles as the CDN capacity.
+        auto_segment_duration: when True, ignore the supplied splice
+            and re-splice the video at the Section-IV duration for the
+            configured bandwidth.
+        target_buffer: the steady-state buffer ``T`` used by the
+            sizing rule, seconds.
+    """
+
+    swarm: SwarmConfig
+    auto_segment_duration: bool = False
+    target_buffer: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.target_buffer <= 0:
+            raise ConfigurationError(
+                f"target_buffer must be positive: {self.target_buffer}"
+            )
+
+
+class HybridSession:
+    """A CDN-origin swarm: peers help each other, the CDN backstops.
+
+    Args:
+        source: either a ready :class:`SpliceResult` or, when
+            ``config.auto_segment_duration`` is set, the raw
+            :class:`Bitstream` to splice at the computed duration.
+        config: session parameters.
+    """
+
+    def __init__(
+        self, source: SpliceResult | Bitstream, config: HybridConfig
+    ) -> None:
+        swarm_config = replace(config.swarm, origin_one_at_a_time=True)
+        if config.auto_segment_duration:
+            if not isinstance(source, Bitstream):
+                raise ConfigurationError(
+                    "auto_segment_duration requires a raw Bitstream source"
+                )
+            duration = cdn_segment_duration(
+                source.bitrate,
+                swarm_config.bandwidth,
+                config.target_buffer,
+            )
+            splice = DurationSplicer(duration).splice(source)
+        else:
+            if not isinstance(source, SpliceResult):
+                raise ConfigurationError(
+                    "provide a SpliceResult, or set auto_segment_duration"
+                )
+            splice = source
+        self.splice = splice
+        self.swarm = Swarm(splice, swarm_config)
+
+    @property
+    def segment_duration(self) -> float:
+        """The (mean) segment duration actually streamed, seconds."""
+        durations = self.splice.segment_durations()
+        return sum(durations) / len(durations)
+
+    def run(self) -> SwarmResult:
+        """Run the hybrid session to completion."""
+        return self.swarm.run()

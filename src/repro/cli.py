@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — splice + stream at one bandwidth, print metrics;
+* ``fig2`` / ``fig3`` / ``fig4`` / ``fig5`` — regenerate a paper
+  figure (``--quick`` runs a reduced sweep for a fast look);
+* ``overhead`` — the splicing byte-overhead table (ablation A3);
+* ``rspec`` — print the experiment's request RSpec XML (Fig. 1);
+* ``timeline`` — run one swarm and render per-peer session timelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.splicer import DurationSplicer, GopSplicer
+from .experiments import fig2, fig3, fig4, fig5
+from .experiments.ablations import run_overhead
+from .experiments.config import ExperimentConfig
+from .experiments.report import format_figure
+from .experiments.timeline import render_timeline
+from .p2p.swarm import Swarm, SwarmConfig
+from .testbed.rspec import star_rspec
+from .units import kB_per_s
+from .video.encoder import encode_paper_video
+
+_FIGURES = {
+    "fig2": (fig2, 1),
+    "fig3": (fig3, 1),
+    "fig4": (fig4, 2),
+    "fig5": (fig5, 1),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Video Splicing Techniques for P2P "
+            "Video Streaming' (ICDCS 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser(
+        "quickstart", help="splice + stream at one bandwidth"
+    )
+    quickstart.add_argument(
+        "--bandwidth", type=float, default=256.0, help="peer kB/s"
+    )
+    quickstart.add_argument("--seed", type=int, default=7)
+
+    for name in _FIGURES:
+        figure = sub.add_parser(name, help=f"regenerate {name}")
+        figure.add_argument(
+            "--quick",
+            action="store_true",
+            help="reduced sweep (1 seed, 2 bandwidths)",
+        )
+
+    sub.add_parser("overhead", help="splicing byte-overhead table")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every figure in one run"
+    )
+    reproduce.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale (9 peers, 1 seed), figures only",
+    )
+    reproduce.add_argument(
+        "--output", default=None, help="also write the report here"
+    )
+
+    rspec = sub.add_parser("rspec", help="print the slice RSpec XML")
+    rspec.add_argument("--peers", type=int, default=19)
+    rspec.add_argument(
+        "--capacity", type=int, default=8192, help="kbit/s per link"
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="per-peer session timelines for one run"
+    )
+    timeline.add_argument("--bandwidth", type=float, default=256.0)
+    timeline.add_argument("--duration", type=float, default=4.0)
+    timeline.add_argument("--peers", type=int, default=9)
+    timeline.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "quickstart":
+        return _cmd_quickstart(args)
+    if args.command in _FIGURES:
+        return _cmd_figure(args)
+    if args.command == "overhead":
+        return _cmd_overhead()
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    if args.command == "rspec":
+        return _cmd_rspec(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    video = encode_paper_video(seed=1)
+    for splicer in (GopSplicer(), DurationSplicer(4.0)):
+        splice = splicer.splice(video)
+        config = SwarmConfig(
+            bandwidth=kB_per_s(args.bandwidth),
+            seeder_bandwidth=kB_per_s(8 * args.bandwidth),
+            n_leechers=19,
+            seed=args.seed,
+        )
+        result = Swarm(splice, config).run()
+        print(
+            f"{splice.technique:12s} stalls={result.mean_stall_count():6.1f} "
+            f"stall-time={result.mean_stall_duration():7.1f}s "
+            f"startup={result.mean_startup_time():5.2f}s"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module, precision = _FIGURES[args.command]
+    if args.quick:
+        config = ExperimentConfig(n_leechers=9, seeds=(7,))
+        bandwidths = (128, 512)
+        result = module.run(config, bandwidths_kb=bandwidths)
+    else:
+        result = module.run()
+    print(format_figure(result, precision=precision))
+    return 0
+
+
+def _cmd_overhead() -> int:
+    print(
+        f"{'technique':12s} {'segments':>8s} {'total MB':>9s} "
+        f"{'overhead':>9s}"
+    )
+    for row in run_overhead():
+        print(
+            f"{row.technique:12s} {row.segments:8d} "
+            f"{row.total_bytes / 1e6:9.2f} "
+            f"{row.overhead_percent:8.1f}%"
+        )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.reproduce import reproduce_all
+
+    if args.quick:
+        config = ExperimentConfig(n_leechers=9, seeds=(7,))
+        report = reproduce_all(config, include_ablations=False)
+    else:
+        report = reproduce_all()
+    text = report.render()
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
+
+
+def _cmd_rspec(args: argparse.Namespace) -> int:
+    document = star_rspec(
+        n_peers=args.peers, capacity_kbps=args.capacity
+    )
+    print(document.to_xml())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    video = encode_paper_video(seed=1)
+    splice = DurationSplicer(args.duration).splice(video)
+    config = SwarmConfig(
+        bandwidth=kB_per_s(args.bandwidth),
+        seeder_bandwidth=kB_per_s(8 * args.bandwidth),
+        n_leechers=args.peers,
+        seed=args.seed,
+    )
+    result = Swarm(splice, config).run()
+    print(render_timeline(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: splicing and downloading policy.
+
+* :mod:`repro.core.segments` — the :class:`Segment` model shared by the
+  splicers, the P2P layer, and the player.
+* :mod:`repro.core.splicer` — GOP-based and duration-based splicing
+  (paper Section II).
+* :mod:`repro.core.policy` — the adaptive download-pool formula, Eq. 1
+  (paper Section III), plus the fixed-pool baseline.
+* :mod:`repro.core.segment_size` — hybrid-CDN segment sizing (paper
+  Section IV) and the duration-adaptive splicing planner the paper
+  lists as future work.
+"""
+
+from .playlist import MediaPlaylist, parse_m3u8, write_m3u8
+from .segment_files import (
+    deserialize_segment,
+    serialize_segment,
+    write_segment_files,
+)
+from .validate import SpliceValidation, validate_splice
+from .policy import (
+    AdaptivePoolPolicy,
+    DownloadPolicy,
+    FixedPoolPolicy,
+    adaptive_pool_size,
+)
+from .segment_size import (
+    AdaptiveDurationPlanner,
+    max_cdn_segment_size,
+    predicted_download_time,
+)
+from .segments import Segment, SpliceResult
+from .splicer import DurationSplicer, GopSplicer, Splicer
+
+__all__ = [
+    "AdaptiveDurationPlanner",
+    "AdaptivePoolPolicy",
+    "DownloadPolicy",
+    "DurationSplicer",
+    "FixedPoolPolicy",
+    "GopSplicer",
+    "MediaPlaylist",
+    "Segment",
+    "SpliceResult",
+    "SpliceValidation",
+    "Splicer",
+    "adaptive_pool_size",
+    "deserialize_segment",
+    "max_cdn_segment_size",
+    "parse_m3u8",
+    "predicted_download_time",
+    "serialize_segment",
+    "validate_splice",
+    "write_m3u8",
+    "write_segment_files",
+]

@@ -1,0 +1,159 @@
+"""HLS media playlists for spliced videos.
+
+The paper's opening frame is HTTP Live Streaming: "In HLS, a video is
+spliced into multiple segments of equal duration."  The artifact that
+carries a splice to an HLS client is an M3U8 media playlist; this
+module writes and parses the subset of RFC 8216 such a client needs,
+so a :class:`~repro.core.segments.SpliceResult` can be served to (or
+checked against) real HLS tooling.
+
+Supported tags: ``#EXTM3U``, ``#EXT-X-VERSION``,
+``#EXT-X-TARGETDURATION``, ``#EXT-X-MEDIA-SEQUENCE``, ``#EXTINF``,
+``#EXT-X-ENDLIST``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SpliceError
+from .segments import SpliceResult
+
+
+@dataclass(frozen=True, slots=True)
+class PlaylistEntry:
+    """One media segment reference in a playlist.
+
+    Attributes:
+        duration: the segment's ``#EXTINF`` duration, seconds.
+        uri: the segment URI.
+    """
+
+    duration: float
+    uri: str
+
+
+@dataclass(frozen=True, slots=True)
+class MediaPlaylist:
+    """A parsed HLS media playlist.
+
+    Attributes:
+        version: ``#EXT-X-VERSION`` value.
+        target_duration: ``#EXT-X-TARGETDURATION`` value, seconds.
+        media_sequence: sequence number of the first entry.
+        entries: the segment references in order.
+        ended: whether ``#EXT-X-ENDLIST`` is present (VoD playlist).
+    """
+
+    version: int
+    target_duration: int
+    media_sequence: int
+    entries: tuple[PlaylistEntry, ...]
+    ended: bool
+
+    @property
+    def total_duration(self) -> float:
+        """Summed segment durations, seconds."""
+        return sum(entry.duration for entry in self.entries)
+
+
+def write_m3u8(
+    splice: SpliceResult,
+    uri_template: str = "segment-{index:05d}.ts",
+    version: int = 3,
+) -> str:
+    """Render a splice as a VoD M3U8 media playlist.
+
+    Args:
+        splice: the spliced video.
+        uri_template: format string for segment URIs; receives
+            ``index``.
+        version: ``#EXT-X-VERSION`` to emit.
+
+    Returns:
+        The playlist text (RFC 8216 media-playlist subset).
+    """
+    target = max(
+        1, math.ceil(max(splice.segment_durations()))
+    )
+    lines = [
+        "#EXTM3U",
+        f"#EXT-X-VERSION:{version}",
+        f"#EXT-X-TARGETDURATION:{target}",
+        "#EXT-X-MEDIA-SEQUENCE:0",
+    ]
+    for segment in splice.segments:
+        lines.append(f"#EXTINF:{segment.duration:.5f},")
+        lines.append(uri_template.format(index=segment.index))
+    lines.append("#EXT-X-ENDLIST")
+    return "\n".join(lines) + "\n"
+
+
+def parse_m3u8(text: str) -> MediaPlaylist:
+    """Parse a VoD M3U8 media playlist.
+
+    Raises:
+        SpliceError: on missing header, malformed tags, or an
+            ``#EXTINF`` without a following URI.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != "#EXTM3U":
+        raise SpliceError("playlist must start with #EXTM3U")
+
+    version = 1
+    target_duration: int | None = None
+    media_sequence = 0
+    entries: list[PlaylistEntry] = []
+    ended = False
+    pending_duration: float | None = None
+
+    for line in lines[1:]:
+        if line.startswith("#EXT-X-VERSION:"):
+            version = _int_value(line)
+        elif line.startswith("#EXT-X-TARGETDURATION:"):
+            target_duration = _int_value(line)
+        elif line.startswith("#EXT-X-MEDIA-SEQUENCE:"):
+            media_sequence = _int_value(line)
+        elif line.startswith("#EXTINF:"):
+            payload = line.split(":", 1)[1]
+            duration_text = payload.split(",", 1)[0]
+            try:
+                pending_duration = float(duration_text)
+            except ValueError as exc:
+                raise SpliceError(
+                    f"malformed #EXTINF duration {duration_text!r}"
+                ) from exc
+        elif line == "#EXT-X-ENDLIST":
+            ended = True
+        elif line.startswith("#"):
+            continue  # unknown tags are ignored, per the RFC
+        else:
+            if pending_duration is None:
+                raise SpliceError(
+                    f"segment URI {line!r} without preceding #EXTINF"
+                )
+            entries.append(
+                PlaylistEntry(duration=pending_duration, uri=line)
+            )
+            pending_duration = None
+
+    if pending_duration is not None:
+        raise SpliceError("#EXTINF without a following segment URI")
+    if target_duration is None:
+        raise SpliceError("playlist missing #EXT-X-TARGETDURATION")
+    return MediaPlaylist(
+        version=version,
+        target_duration=target_duration,
+        media_sequence=media_sequence,
+        entries=tuple(entries),
+        ended=ended,
+    )
+
+
+def _int_value(line: str) -> int:
+    value = line.split(":", 1)[1]
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise SpliceError(f"malformed integer tag value {line!r}") from exc

@@ -1,0 +1,148 @@
+"""Download-pool policies (paper Section III).
+
+The paper's Equation 1: a peer that has ``T`` seconds of video buffered
+ahead of the playhead, sees ``B`` bytes/s of available bandwidth, and
+downloads ``W``-byte segments should fetch at most
+
+    k = max(floor(B * T / W), 1)
+
+segments simultaneously.  The intuition: all ``k`` in-flight segments
+share the peer's bandwidth and may finish in any order, so *all* of
+them must complete within the ``T`` seconds of playback already in the
+buffer or a stall is possible.  ``B * T`` bytes is what the peer can
+move in that window, hence ``B*T/W`` segments.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from ..errors import ConfigurationError
+
+
+def adaptive_pool_size(
+    bandwidth: float, buffered_playtime: float, segment_size: float
+) -> int:
+    """Equation 1 of the paper.
+
+    Args:
+        bandwidth: available bandwidth estimate ``B`` in bytes/second.
+        buffered_playtime: seconds of video buffered ahead of the
+            playhead, ``T``.  At stream start, after a stall, or when
+            the buffer has just drained, ``T = 0``.
+        segment_size: segment size ``W`` in bytes (an estimate; callers
+            typically use the mean or the next segment's size).
+
+    Returns:
+        The number of segments to download simultaneously:
+        ``max(floor(B*T/W), 1)``.
+    """
+    if bandwidth < 0:
+        raise ConfigurationError(f"bandwidth must be >= 0, got {bandwidth}")
+    if buffered_playtime < 0:
+        raise ConfigurationError(
+            f"buffered_playtime must be >= 0, got {buffered_playtime}"
+        )
+    if segment_size <= 0:
+        raise ConfigurationError(
+            f"segment_size must be positive, got {segment_size}"
+        )
+    return max(math.floor(bandwidth * buffered_playtime / segment_size), 1)
+
+
+class DownloadPolicy(abc.ABC):
+    """Strategy interface for sizing a peer's download pool."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short policy name used in reports."""
+
+    @abc.abstractmethod
+    def pool_size(
+        self,
+        bandwidth: float,
+        buffered_playtime: float,
+        segment_size: float,
+    ) -> int:
+        """Number of segments to download simultaneously (>= 1).
+
+        Args:
+            bandwidth: current bandwidth estimate, bytes/second.
+            buffered_playtime: seconds of contiguous video buffered
+                ahead of the playhead.
+            segment_size: representative segment size in bytes.
+        """
+
+
+class AdaptivePoolPolicy(DownloadPolicy):
+    """The paper's adaptive pooling (Equation 1).
+
+    Args:
+        max_pool: optional hard cap on the pool size; ``None`` leaves
+            Eq. 1 uncapped as in the paper.
+    """
+
+    def __init__(self, max_pool: int | None = None) -> None:
+        if max_pool is not None and max_pool < 1:
+            raise ConfigurationError(
+                f"max_pool must be >= 1 or None, got {max_pool}"
+            )
+        self._max_pool = max_pool
+
+    @property
+    def name(self) -> str:
+        return "adaptive"
+
+    @property
+    def max_pool(self) -> int | None:
+        """The configured cap, or ``None`` when uncapped."""
+        return self._max_pool
+
+    def pool_size(
+        self,
+        bandwidth: float,
+        buffered_playtime: float,
+        segment_size: float,
+    ) -> int:
+        size = adaptive_pool_size(bandwidth, buffered_playtime, segment_size)
+        if self._max_pool is not None:
+            size = min(size, self._max_pool)
+        return size
+
+
+class FixedPoolPolicy(DownloadPolicy):
+    """The baseline the paper compares against: a constant pool size.
+
+    Args:
+        size: the fixed number of simultaneous downloads (paper
+            evaluates 2, 4, and 8).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        self._size = size
+
+    @property
+    def name(self) -> str:
+        return f"fixed-{self._size}"
+
+    @property
+    def size(self) -> int:
+        """The configured pool size."""
+        return self._size
+
+    def pool_size(
+        self,
+        bandwidth: float,
+        buffered_playtime: float,
+        segment_size: float,
+    ) -> int:
+        # Validate inputs identically to the adaptive policy so the two
+        # are interchangeable.
+        adaptive_pool_size(
+            max(bandwidth, 0.0), buffered_playtime, segment_size
+        )
+        return self._size

@@ -1,0 +1,131 @@
+"""Per-segment container files.
+
+Completes the HLS story: :func:`repro.core.playlist.write_m3u8` emits
+the playlist, and this module emits the segment files its URIs point
+at — each a small container with a frame table (and optionally
+payload), mirroring the stream container of
+:mod:`repro.video.container`.
+
+Wire layout per file (big-endian)::
+
+    magic    : 4 bytes  b"RPS1"
+    index    : u32      segment index
+    inserted : u8       1 if the head I-frame was inserted
+    nframes  : u32
+    frame[i] : type(1 byte) | stream_index(u32) | size(u32)
+             | duration_us(u32)
+    payload  : size bytes per frame, iff include_payload
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import SpliceError
+from ..video.frames import Frame, FrameType
+from .segments import Segment, SpliceResult
+
+MAGIC = b"RPS1"
+_HEADER = struct.Struct(">4sIBI")
+_FRAME = struct.Struct(">cIII")
+
+
+def serialize_segment(
+    segment: Segment, include_payload: bool = False
+) -> bytes:
+    """Serialize one segment to its container bytes."""
+    parts = [
+        _HEADER.pack(
+            MAGIC,
+            segment.index,
+            1 if segment.inserted_i_frame else 0,
+            len(segment.frames),
+        )
+    ]
+    for frame in segment.frames:
+        parts.append(
+            _FRAME.pack(
+                frame.frame_type.value.encode("ascii"),
+                frame.index,
+                frame.size,
+                round(frame.duration * 1_000_000),
+            )
+        )
+    if include_payload:
+        for frame in segment.frames:
+            parts.append(b"\x00" * frame.size)
+    return b"".join(parts)
+
+
+def deserialize_segment(data: bytes) -> Segment:
+    """Parse segment-container bytes back into a :class:`Segment`.
+
+    The first frame's presentation time restarts at 0 relative to the
+    file, so a round-tripped segment is time-shifted to its own origin
+    (exactly like an extracted ``.ts`` file); sizes, types, order, and
+    stream indices are preserved.
+
+    Raises:
+        SpliceError: on malformed input.
+    """
+    if len(data) < _HEADER.size:
+        raise SpliceError("segment file truncated: missing header")
+    magic, index, inserted, nframes = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SpliceError(f"bad segment magic {magic!r}")
+    offset = _HEADER.size
+    if len(data) < offset + nframes * _FRAME.size:
+        raise SpliceError(
+            f"segment file truncated: expected {nframes} frame records"
+        )
+    frames: list[Frame] = []
+    pts = 0.0
+    for _ in range(nframes):
+        type_byte, stream_index, size, duration_us = _FRAME.unpack_from(
+            data, offset
+        )
+        offset += _FRAME.size
+        try:
+            frame_type = FrameType(type_byte.decode("ascii"))
+        except ValueError as exc:
+            raise SpliceError(
+                f"unknown frame type byte {type_byte!r}"
+            ) from exc
+        duration = duration_us / 1_000_000
+        frames.append(
+            Frame(
+                index=stream_index,
+                frame_type=frame_type,
+                size=size,
+                duration=duration,
+                pts=pts,
+            )
+        )
+        pts += duration
+    return Segment(
+        index=index,
+        frames=tuple(frames),
+        inserted_i_frame=bool(inserted),
+    )
+
+
+def write_segment_files(
+    splice: SpliceResult,
+    uri_template: str = "segment-{index:05d}.ts",
+    include_payload: bool = False,
+) -> dict[str, bytes]:
+    """Serialize every segment under its playlist URI.
+
+    The keys match the URIs :func:`repro.core.playlist.write_m3u8`
+    emits with the same ``uri_template``, so the pair forms a complete
+    servable HLS asset.
+
+    Returns:
+        Mapping of URI to container bytes.
+    """
+    return {
+        uri_template.format(index=segment.index): serialize_segment(
+            segment, include_payload
+        )
+        for segment in splice.segments
+    }

@@ -1,0 +1,142 @@
+"""Segment model produced by splicing and consumed by transport/playback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SpliceError
+from ..video.frames import Frame, FrameType
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One independently-playable slice of a video.
+
+    Attributes:
+        index: 0-based position in the segment sequence.
+        frames: frames of the segment in presentation order; the first
+            frame is always an I-frame (possibly inserted by the
+            duration splicer).
+        inserted_i_frame: True when the splicer converted the original
+            first frame into an I-frame (duration splicing overhead).
+        original_first_frame_size: encoded size of the first frame
+            before conversion; equals ``frames[0].size`` when nothing
+            was inserted.
+    """
+
+    index: int
+    frames: tuple[Frame, ...]
+    inserted_i_frame: bool = False
+    original_first_frame_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SpliceError(f"segment index must be >= 0, got {self.index}")
+        if not self.frames:
+            raise SpliceError("a segment must contain at least one frame")
+        if self.frames[0].frame_type is not FrameType.I:
+            raise SpliceError(
+                f"segment {self.index} must start with an I-frame "
+                f"(got {self.frames[0].frame_type.value}); segments must "
+                "be independently decodable"
+            )
+        if self.original_first_frame_size == 0:
+            object.__setattr__(
+                self, "original_first_frame_size", self.frames[0].size
+            )
+
+    @property
+    def start_pts(self) -> float:
+        """Presentation time of the segment's first frame."""
+        return self.frames[0].pts
+
+    @property
+    def end_pts(self) -> float:
+        """Presentation time at which the segment's last frame ends."""
+        return self.frames[-1].end_pts
+
+    @property
+    def duration(self) -> float:
+        """Playback duration in seconds."""
+        return self.end_pts - self.start_pts
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes (including any inserted I-frame)."""
+        return sum(frame.size for frame in self.frames)
+
+    @property
+    def overhead(self) -> int:
+        """Extra bytes added by splicing (0 for GOP splicing)."""
+        if not self.inserted_i_frame:
+            return 0
+        return self.frames[0].size - self.original_first_frame_size
+
+
+@dataclass(frozen=True, slots=True)
+class SpliceResult:
+    """The output of a splicer: the segment sequence plus provenance.
+
+    Attributes:
+        technique: human-readable splicer name (e.g. ``"gop"``,
+            ``"duration-4s"``).
+        segments: the segments in playback order.
+        source_size: encoded size of the original stream in bytes.
+    """
+
+    technique: str
+    segments: tuple[Segment, ...] = field(default_factory=tuple)
+    source_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise SpliceError("splicing produced no segments")
+        for expected, segment in enumerate(self.segments):
+            if segment.index != expected:
+                raise SpliceError(
+                    f"segment indices must be contiguous; expected "
+                    f"{expected}, got {segment.index}"
+                )
+        for earlier, later in zip(self.segments, self.segments[1:]):
+            if abs(later.start_pts - earlier.end_pts) > 1e-6:
+                raise SpliceError(
+                    f"segment {later.index} does not abut segment "
+                    f"{earlier.index} in presentation time"
+                )
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_size(self) -> int:
+        """Total bytes across all segments."""
+        return sum(segment.size for segment in self.segments)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes added relative to the source stream."""
+        return self.total_size - self.source_size
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Overhead as a fraction of the source size."""
+        if self.source_size == 0:
+            return 0.0
+        return self.overhead_bytes / self.source_size
+
+    @property
+    def duration(self) -> float:
+        """Total playback duration in seconds."""
+        return self.segments[-1].end_pts - self.segments[0].start_pts
+
+    def segment_sizes(self) -> list[int]:
+        """Sizes of all segments in bytes, in order."""
+        return [segment.size for segment in self.segments]
+
+    def segment_durations(self) -> list[float]:
+        """Durations of all segments in seconds, in order."""
+        return [segment.duration for segment in self.segments]
+
+    def mean_segment_size(self) -> float:
+        """Average segment size in bytes."""
+        return self.total_size / len(self.segments)

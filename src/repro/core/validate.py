@@ -1,0 +1,115 @@
+"""Cross-checking a splice against its source stream.
+
+A downstream user (or a test) can verify that a
+:class:`~repro.core.segments.SpliceResult` is a faithful segmentation
+of a :class:`~repro.video.bitstream.Bitstream`: complete coverage, no
+reordering, decodable segment heads, and overhead that is exactly the
+sum of the inserted I-frame deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..video.bitstream import Bitstream
+from ..video.frames import FrameType
+from .segments import SpliceResult
+
+
+@dataclass(frozen=True, slots=True)
+class SpliceValidation:
+    """Outcome of validating a splice against its source.
+
+    Attributes:
+        valid: True when no problems were found.
+        problems: human-readable descriptions of every violation.
+        covered_frames: frames accounted for across segments.
+        inserted_i_frames: segments whose head was re-encoded.
+        overhead_bytes: byte overhead versus the source.
+    """
+
+    valid: bool
+    problems: tuple[str, ...] = field(default_factory=tuple)
+    covered_frames: int = 0
+    inserted_i_frames: int = 0
+    overhead_bytes: int = 0
+
+
+def validate_splice(
+    splice: SpliceResult, source: Bitstream
+) -> SpliceValidation:
+    """Validate ``splice`` as a segmentation of ``source``.
+
+    Checks:
+
+    * every source frame appears exactly once, in order;
+    * every segment starts with an I-frame;
+    * non-inserted frames are byte-identical to the source;
+    * inserted heads only ever replace non-I frames;
+    * the recorded overhead equals the sum of head deltas.
+
+    Returns:
+        A :class:`SpliceValidation`; inspect ``problems`` on failure.
+    """
+    problems: list[str] = []
+    source_frames = {frame.index: frame for frame in source.frames()}
+
+    expected_index = 0
+    inserted = 0
+    head_delta = 0
+    for segment in splice.segments:
+        head = segment.frames[0]
+        if head.frame_type is not FrameType.I:
+            problems.append(
+                f"segment {segment.index} starts with "
+                f"{head.frame_type.value}, not I"
+            )
+        for position, frame in enumerate(segment.frames):
+            if frame.index != expected_index:
+                problems.append(
+                    f"segment {segment.index} frame {position}: "
+                    f"expected stream index {expected_index}, got "
+                    f"{frame.index}"
+                )
+                expected_index = frame.index
+            original = source_frames.get(frame.index)
+            if original is None:
+                problems.append(
+                    f"segment {segment.index} references unknown frame "
+                    f"{frame.index}"
+                )
+            elif position == 0 and segment.inserted_i_frame:
+                if original.frame_type is FrameType.I:
+                    problems.append(
+                        f"segment {segment.index} claims an inserted "
+                        "I-frame but the source head already was one"
+                    )
+                head_delta += frame.size - original.size
+                inserted += 1
+            elif (
+                frame.size != original.size
+                or frame.frame_type is not original.frame_type
+            ):
+                problems.append(
+                    f"segment {segment.index} altered mid-segment frame "
+                    f"{frame.index}"
+                )
+            expected_index += 1
+
+    if expected_index != source.frame_count:
+        problems.append(
+            f"splice covers {expected_index} frames, source has "
+            f"{source.frame_count}"
+        )
+    if head_delta != splice.overhead_bytes:
+        problems.append(
+            f"recorded overhead {splice.overhead_bytes} != summed head "
+            f"deltas {head_delta}"
+        )
+    return SpliceValidation(
+        valid=not problems,
+        problems=tuple(problems),
+        covered_frames=min(expected_index, source.frame_count),
+        inserted_i_frames=inserted,
+        overhead_bytes=head_delta,
+    )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class VideoError(ReproError):
+    """Base class for errors in the synthetic video subsystem."""
+
+
+class BitstreamError(VideoError):
+    """A bitstream violates MPEG-4 structural invariants."""
+
+
+class SpliceError(ReproError):
+    """A splicing operation could not produce valid segments."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the network simulator."""
+
+
+class SimulationError(NetworkError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class RoutingError(NetworkError):
+    """No path exists between two nodes in the topology."""
+
+
+class LinkError(NetworkError):
+    """A link was configured or used incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """Base class for P2P wire-protocol violations."""
+
+
+class WireFormatError(ProtocolError):
+    """Bytes on the wire could not be decoded into a message."""
+
+
+class HandshakeError(ProtocolError):
+    """Peers failed to agree on a session during handshake."""
+
+
+class PeerError(ReproError):
+    """A peer was driven into an invalid state."""
+
+
+class SwarmError(ReproError):
+    """Swarm-level orchestration failure (e.g. no seeder available)."""
+
+
+class PlaybackError(ReproError):
+    """The player or playback buffer was used incorrectly."""
+
+
+class RSpecError(ReproError):
+    """An RSpec document could not be generated or parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""

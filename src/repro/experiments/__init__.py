@@ -1,0 +1,37 @@
+"""Experiment harness: regenerate every figure of the paper.
+
+One module per figure plus ablations:
+
+* :mod:`repro.experiments.fig2` — total stalls vs bandwidth per
+  splicing technique;
+* :mod:`repro.experiments.fig3` — total stall duration vs bandwidth;
+* :mod:`repro.experiments.fig4` — startup time vs bandwidth;
+* :mod:`repro.experiments.fig5` — stalls vs download-pool policy;
+* :mod:`repro.experiments.ablations` — segment-size sweep, churn,
+  splicing overhead, variable bandwidth, adaptive splicing.
+
+Each figure module exposes ``run(config) -> FigureResult`` and can be
+printed with :func:`repro.experiments.report.format_figure`.
+"""
+
+from .config import (
+    FIG4_BANDWIDTHS_KB,
+    PAPER_BANDWIDTHS_KB,
+    ExperimentConfig,
+    make_paper_video,
+    make_swarm_config,
+)
+from .runner import CellResult, FigureResult, run_cell
+from .report import format_figure
+
+__all__ = [
+    "CellResult",
+    "ExperimentConfig",
+    "FIG4_BANDWIDTHS_KB",
+    "FigureResult",
+    "PAPER_BANDWIDTHS_KB",
+    "format_figure",
+    "make_paper_video",
+    "make_swarm_config",
+    "run_cell",
+]

@@ -1,0 +1,331 @@
+"""Ablations beyond the paper's figures (DESIGN.md A1–A5).
+
+These answer the questions the paper leaves open: where the
+segment-size sweet spot lies (A1, its Section IV discussion), whether
+adaptive pooling helps under churn (A2), how much the duration
+splicing overhead costs in bytes (A3), how splicing behaves under
+variable bandwidth (A4, the paper's future work), and what the
+duration-adaptive splicer from Section VII's future work buys (A5).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+
+from ..core.segment_size import AdaptiveDurationPlanner
+from ..core.segments import SpliceResult
+from ..core.splicer import DurationSplicer, GopSplicer
+from ..errors import ExperimentError
+from ..p2p.churn import ChurnConfig
+from ..p2p.swarm import Swarm
+from ..units import kB_per_s
+from ..video.bitstream import Bitstream
+from .config import (
+    PAPER_BANDWIDTHS_KB,
+    ExperimentConfig,
+    make_paper_video,
+    make_swarm_config,
+)
+from .runner import CellResult, FigureResult, run_cell
+
+#: Durations swept by the segment-size ablation, seconds.
+A1_DURATIONS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def run_segment_size_sweep(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = (128, 512),
+    durations: tuple[float, ...] = A1_DURATIONS,
+) -> FigureResult:
+    """A1 — stall count across a wide range of segment durations.
+
+    The paper's Section IV argues the segment must be neither too
+    small (TCP overhead) nor too large (coarse scheduling); this sweep
+    locates the sweet spot per bandwidth.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    series: dict[str, list[CellResult]] = {}
+    for duration in durations:
+        splice = DurationSplicer(duration).splice(stream)
+        series[splice.technique] = [
+            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+        ]
+    return FigureResult(
+        figure="A1",
+        title="Stalls across segment durations",
+        metric="stall_count",
+        series=series,
+    )
+
+
+def run_churn(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidth_kb: int = 256,
+    churn_fractions: tuple[float, ...] = (0.0, 0.25, 0.5),
+    mean_lifetime: float = 60.0,
+) -> FigureResult:
+    """A2 — stalls under increasing peer departure rates.
+
+    Peers "can leave the swarm anytime"; prefetching is the paper's
+    antidote.  Reported per churn fraction at one bandwidth; the
+    bandwidth column of each series is reused for the fraction.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    splice = DurationSplicer(4.0).splice(stream)
+    series: dict[str, list[CellResult]] = {}
+    for fraction in churn_fractions:
+        churn = (
+            ChurnConfig(mean_lifetime=mean_lifetime, fraction=fraction)
+            if fraction > 0
+            else None
+        )
+        churn_cfg = replace(cfg, churn=churn)
+        series[f"churn {int(fraction * 100)}%"] = [
+            run_cell(splice, bandwidth_kb, churn_cfg)
+        ]
+    return FigureResult(
+        figure="A2",
+        title=f"Stalls under churn at {bandwidth_kb} kB/s",
+        metric="stall_count",
+        series=series,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadRow:
+    """A3 — byte overhead of one splicing technique.
+
+    Attributes:
+        technique: splicer name.
+        segments: number of segments produced.
+        total_bytes: spliced size in bytes.
+        overhead_bytes: bytes added over the source stream.
+        overhead_percent: overhead as percent of the source size.
+    """
+
+    technique: str
+    segments: int
+    total_bytes: int
+    overhead_bytes: int
+    overhead_percent: float
+
+
+def run_overhead(
+    video: Bitstream | None = None,
+    durations: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+) -> list[OverheadRow]:
+    """A3 — quantify "much more data to be transferred".
+
+    Pure computation: splice the video each way and compare sizes.
+    """
+    stream = video if video is not None else make_paper_video()
+
+    def row(splice: SpliceResult) -> OverheadRow:
+        return OverheadRow(
+            technique=splice.technique,
+            segments=len(splice),
+            total_bytes=splice.total_size,
+            overhead_bytes=splice.overhead_bytes,
+            overhead_percent=100.0 * splice.overhead_ratio,
+        )
+
+    rows = [row(GopSplicer().splice(stream))]
+    rows.extend(
+        row(DurationSplicer(duration).splice(stream))
+        for duration in durations
+    )
+    return rows
+
+
+def run_variable_bandwidth(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    base_kb: int = 256,
+    amplitude: float = 0.5,
+    period: float = 20.0,
+) -> FigureResult:
+    """A4 — splicing under oscillating bandwidth (paper future work).
+
+    Every peer's access bandwidth follows a square wave between
+    ``base * (1 - amplitude)`` and ``base * (1 + amplitude)`` with the
+    given period, changing mid-run through the flow network so active
+    transfers re-share immediately.
+    """
+    if not 0.0 < amplitude < 1.0:
+        raise ExperimentError(f"amplitude must be in (0, 1): {amplitude}")
+    if period <= 0:
+        raise ExperimentError(f"period must be positive: {period}")
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    series: dict[str, list[CellResult]] = {}
+    for splicer in (
+        GopSplicer(),
+        DurationSplicer(2.0),
+        DurationSplicer(4.0),
+        DurationSplicer(8.0),
+    ):
+        splice = splicer.splice(stream)
+        stalls, stall_durations, startups = [], [], []
+        for seed in cfg.seeds:
+            swarm = Swarm(
+                splice, make_swarm_config(base_kb, seed, cfg)
+            )
+            _schedule_square_wave(
+                swarm, kB_per_s(base_kb), amplitude, period
+            )
+            result = swarm.run()
+            stalls.append(result.mean_stall_count())
+            stall_durations.append(result.mean_stall_duration())
+            startups.append(result.mean_startup_time())
+        series[splice.technique] = [
+            CellResult(
+                bandwidth_kb=base_kb,
+                stall_count=statistics.fmean(stalls),
+                stall_duration=statistics.fmean(stall_durations),
+                startup_time=statistics.fmean(startups),
+                seeder_bytes=0.0,
+                peer_bytes=0.0,
+                finished_fraction=1.0,
+            )
+        ]
+    return FigureResult(
+        figure="A4",
+        title=(
+            f"Stalls under square-wave bandwidth "
+            f"({base_kb} kB/s +/- {int(amplitude * 100)}%)"
+        ),
+        metric="stall_count",
+        series=series,
+    )
+
+
+def _schedule_square_wave(
+    swarm: Swarm, base: float, amplitude: float, period: float
+) -> None:
+    """Toggle every leecher's bandwidth between the two wave levels."""
+    low = base * (1.0 - amplitude)
+    high = base * (1.0 + amplitude)
+
+    def set_level(level: float, next_level: float) -> None:
+        for leecher in swarm.leechers:
+            swarm.topology.set_node_bandwidth(
+                swarm.network, leecher.node, level
+            )
+        swarm.sim.schedule(
+            period / 2.0, set_level, next_level, level
+        )
+
+    swarm.sim.schedule(period / 2.0, set_level, low, high)
+
+
+def run_preroll(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidth_kb: int = 256,
+    prerolls: tuple[int, ...] = (1, 2, 3),
+) -> FigureResult:
+    """A7 — pre-roll buffering: trading startup for stalls.
+
+    The paper's client starts on the first segment; HLS players
+    pre-roll several.  Measures both observables per pre-roll depth.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    splice = DurationSplicer(4.0).splice(stream)
+    series: dict[str, list[CellResult]] = {}
+    for preroll in prerolls:
+        stalls, durations, startups = [], [], []
+        for seed in cfg.seeds:
+            swarm_config = replace(
+                make_swarm_config(bandwidth_kb, seed, cfg),
+                preroll_segments=preroll,
+            )
+            result = Swarm(splice, swarm_config).run()
+            stalls.append(result.mean_stall_count())
+            durations.append(result.mean_stall_duration())
+            startups.append(result.mean_startup_time())
+        series[f"preroll {preroll}"] = [
+            CellResult(
+                bandwidth_kb=bandwidth_kb,
+                stall_count=statistics.fmean(stalls),
+                stall_duration=statistics.fmean(durations),
+                startup_time=statistics.fmean(startups),
+                seeder_bytes=0.0,
+                peer_bytes=0.0,
+                finished_fraction=1.0,
+            )
+        ]
+    return FigureResult(
+        figure="A7",
+        title=f"Pre-roll depth at {bandwidth_kb} kB/s",
+        metric="stall_count",
+        series=series,
+    )
+
+
+def run_swarm_scaling(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidth_kb: int = 256,
+    swarm_sizes: tuple[int, ...] = (5, 10, 19, 38),
+) -> FigureResult:
+    """A8 — scalability: does P2P shed load from the origin?
+
+    The paper motivates P2P by scalability; this sweep grows the swarm
+    and reports stalls while the harness records how the seeder's
+    share of the served bytes shrinks (``seeder_bytes`` vs
+    ``peer_bytes`` in the cells).
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    splice = DurationSplicer(4.0).splice(stream)
+    series: dict[str, list[CellResult]] = {}
+    for size in swarm_sizes:
+        scaled = replace(cfg, n_leechers=size)
+        series[f"{size} peers"] = [
+            run_cell(splice, bandwidth_kb, scaled)
+        ]
+    return FigureResult(
+        figure="A8",
+        title=f"Swarm scaling at {bandwidth_kb} kB/s",
+        metric="stall_count",
+        series=series,
+    )
+
+
+def run_adaptive_splicing(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> FigureResult:
+    """A5 — duration-adaptive splicing (paper future work).
+
+    For each bandwidth the :class:`AdaptiveDurationPlanner` picks a
+    segment duration before splicing; compared against fixed 4-second
+    splicing.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    planner = AdaptiveDurationPlanner(bitrate=stream.bitrate)
+    adaptive_cells = []
+    for bw in bandwidths_kb:
+        duration = planner.pick(kB_per_s(bw)).duration
+        splice = DurationSplicer(duration).splice(stream)
+        adaptive_cells.append(run_cell(splice, bw, cfg))
+    fixed = DurationSplicer(4.0).splice(stream)
+    return FigureResult(
+        figure="A5",
+        title="Adaptive segment duration vs fixed 4 s",
+        metric="stall_count",
+        series={
+            "adaptive duration": adaptive_cells,
+            "fixed 4s": [
+                run_cell(fixed, bw, cfg) for bw in bandwidths_kb
+            ],
+        },
+    )

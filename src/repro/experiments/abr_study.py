@@ -1,0 +1,149 @@
+"""A10 — bitrate adaptation vs duration adaptation.
+
+The paper's central premise: "As they keep the duration of the segment
+constant and vary the bit-rates, it will degrade the video quality ...
+Instead of varying the bit-rate, we can vary the segment duration.  In
+this way, we can adapt the segment size to avoid stalls without
+degrading the video quality."
+
+This study pits three client strategies against each other in the
+client-server setting where both are implementable:
+
+* **ABR (buffer-based)** — constant 4 s segments, bitrate varies;
+* **duration-adaptive** — constant (top) bitrate, the planner picks
+  the segment duration for the bandwidth;
+* **fixed top quality** — constant bitrate, constant 4 s segments
+  (the non-adaptive control).
+
+Reported per bandwidth: stalls, startup, and delivered quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..abr.ladder import BitrateLadder, encode_ladder
+from ..abr.policy import BufferBasedAbr, FixedRung
+from ..abr.session import AbrSession, AbrSessionConfig
+from ..core.segment_size import AdaptiveDurationPlanner
+from ..errors import ExperimentError
+from ..units import kB_per_s
+
+
+@dataclass(frozen=True, slots=True)
+class AbrStudyRow:
+    """One (strategy, bandwidth) cell of the study.
+
+    Attributes:
+        strategy: strategy label.
+        bandwidth_kb: client bandwidth, kB/s.
+        stalls: stall count.
+        stall_duration: total stall seconds.
+        startup: startup seconds.
+        mean_bitrate: delivered quality, bits/second.
+        switches: rendition switches.
+    """
+
+    strategy: str
+    bandwidth_kb: float
+    stalls: int
+    stall_duration: float
+    startup: float
+    mean_bitrate: float
+    switches: int
+
+
+def run(
+    bandwidths_kb: tuple[int, ...] = (96, 128, 192, 256),
+    seed: int = 1,
+    duration: float = 120.0,
+    ladder: BitrateLadder | None = None,
+) -> list[AbrStudyRow]:
+    """Run the three strategies across bandwidths.
+
+    Args:
+        bandwidths_kb: client bandwidths in kB/s (the interesting range
+            sits *below* the top rung's rate, where adaptation must
+            act).
+        seed: ladder encoding seed.
+        duration: video duration, seconds.
+        ladder: pre-encoded ladder (encoded fresh when omitted).
+
+    Returns:
+        One row per (strategy, bandwidth).
+    """
+    if not bandwidths_kb:
+        raise ExperimentError("bandwidths_kb must be non-empty")
+    rungs = ladder if ladder is not None else encode_ladder(
+        seed=seed, duration=duration, segment_duration=4.0
+    )
+    top_bitrate = rungs.top.bitrate
+    # The CDN client fetches serially (one segment in flight), so the
+    # steady buffer is about one segment deep (buffer_durations=1) and
+    # the pick needs headroom against size variance (safety margin).
+    planner = AdaptiveDurationPlanner(
+        bitrate=top_bitrate,
+        buffer_durations=1.0,
+        safety_margin=1.15,
+        candidate_durations=(1.0, 2.0, 4.0, 8.0, 16.0),
+    )
+    rows: list[AbrStudyRow] = []
+    for bandwidth_kb in bandwidths_kb:
+        bandwidth = kB_per_s(bandwidth_kb)
+        config = AbrSessionConfig(bandwidth=bandwidth)
+
+        # 1) ABR: constant duration, varying bitrate.
+        abr = AbrSession(rungs, BufferBasedAbr(), config).run()
+        rows.append(_row("abr-buffer", bandwidth_kb, abr))
+
+        # 2) Duration-adaptive: constant top bitrate, planner duration.
+        chosen = planner.pick(bandwidth).duration
+        adaptive_ladder = encode_ladder(
+            seed=seed,
+            duration=duration,
+            bitrates=(top_bitrate,),
+            segment_duration=chosen,
+        )
+        adaptive = AbrSession(
+            adaptive_ladder, FixedRung(-1), config
+        ).run()
+        rows.append(
+            _row(
+                f"duration-adaptive ({chosen:g}s)",
+                bandwidth_kb,
+                adaptive,
+            )
+        )
+
+        # 3) Fixed top quality, fixed 4 s segments.
+        fixed = AbrSession(rungs, FixedRung(-1), config).run()
+        rows.append(_row("fixed-top", bandwidth_kb, fixed))
+    return rows
+
+
+def _row(strategy: str, bandwidth_kb: float, metrics) -> AbrStudyRow:
+    return AbrStudyRow(
+        strategy=strategy,
+        bandwidth_kb=bandwidth_kb,
+        stalls=metrics.streaming.stall_count,
+        stall_duration=metrics.streaming.total_stall_duration,
+        startup=metrics.streaming.startup_time or 0.0,
+        mean_bitrate=metrics.mean_bitrate,
+        switches=metrics.switches,
+    )
+
+
+def format_rows(rows: list[AbrStudyRow]) -> str:
+    """Render the study as a text table."""
+    lines = [
+        f"{'strategy':24s} {'bw kB/s':>8s} {'stalls':>6s} "
+        f"{'stall s':>8s} {'startup':>8s} {'quality':>8s} {'switch':>6s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.strategy:24s} {row.bandwidth_kb:8.0f} "
+            f"{row.stalls:6d} {row.stall_duration:8.1f} "
+            f"{row.startup:8.2f} {row.mean_bitrate / 1e6:7.2f}M "
+            f"{row.switches:6d}"
+        )
+    return "\n".join(lines)

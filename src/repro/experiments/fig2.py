@@ -1,0 +1,68 @@
+"""Figure 2 — total number of stalls for different bandwidths.
+
+Series: GOP-based splicing and 2/4/8-second duration splicing; x-axis
+bandwidth 128–768 kB/s; adaptive pooling throughout.
+
+Expected shape (paper Section VI-A): GOP-based splicing stalls most;
+2-second segments stall more than 4-second segments at low bandwidth
+(many small TCP connections) and converge toward them as bandwidth
+grows; 8-second segments stall more than 4-second at the low end; all
+series decrease with bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..core.splicer import DurationSplicer, GopSplicer, Splicer
+from ..video.bitstream import Bitstream
+from .config import PAPER_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
+from .config import make_paper_video
+from .runner import FigureResult, run_cell
+
+
+def splicers() -> list[Splicer]:
+    """The four splicing techniques of Figs. 2 and 3."""
+    return [GopSplicer()] + [
+        DurationSplicer(duration) for duration in PAPER_DURATIONS
+    ]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> FigureResult:
+    """Reproduce Figure 2.
+
+    Args:
+        config: shared experiment parameters.
+        video: pre-encoded video (encoded fresh when omitted).
+        bandwidths_kb: x-axis points in kB/s.
+
+    Returns:
+        Stall-count series per splicing technique.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    series = {}
+    for splicer in splicers():
+        splice = splicer.splice(stream)
+        series[splice.technique] = [
+            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+        ]
+    return FigureResult(
+        figure="fig2",
+        title="Total number of stalls for different bandwidths",
+        metric="stall_count",
+        series=series,
+    )
+
+
+def main() -> None:
+    """Print the reproduced figure."""
+    from .report import format_figure
+
+    print(format_figure(run()))
+
+
+if __name__ == "__main__":
+    main()

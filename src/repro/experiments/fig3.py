@@ -1,0 +1,47 @@
+"""Figure 3 — total stall duration for different bandwidths.
+
+Same sweep as Figure 2, reporting summed stall seconds instead of
+stall counts.  Expected shape (paper Section VI-A): GOP-based splicing
+gives long stalls; smaller duration-based segments give shorter total
+stall time even when their stall *count* is higher.
+"""
+
+from __future__ import annotations
+
+from ..video.bitstream import Bitstream
+from .config import PAPER_BANDWIDTHS_KB, ExperimentConfig, make_paper_video
+from .fig2 import splicers
+from .runner import FigureResult, run_cell
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> FigureResult:
+    """Reproduce Figure 3 (see module docstring)."""
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    series = {}
+    for splicer in splicers():
+        splice = splicer.splice(stream)
+        series[splice.technique] = [
+            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+        ]
+    return FigureResult(
+        figure="fig3",
+        title="Total stall duration for different bandwidths",
+        metric="stall_duration",
+        series=series,
+    )
+
+
+def main() -> None:
+    """Print the reproduced figure."""
+    from .report import format_figure
+
+    print(format_figure(run()))
+
+
+if __name__ == "__main__":
+    main()

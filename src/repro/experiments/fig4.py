@@ -1,0 +1,51 @@
+"""Figure 4 — startup time for different bandwidths.
+
+Series: 2/4/8-second duration splicing (the paper excludes GOP-based
+splicing here because its startup depends on the particular video);
+x-axis bandwidth 128–1024 kB/s.
+
+Expected shape (paper Section VI-A): larger segments start slower —
+"the large segments can result in a very high startup time in a low
+bandwidth network" — and every series falls as bandwidth grows.
+"""
+
+from __future__ import annotations
+
+from ..core.splicer import DurationSplicer
+from ..video.bitstream import Bitstream
+from .config import FIG4_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
+from .config import make_paper_video
+from .runner import FigureResult, run_cell
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = FIG4_BANDWIDTHS_KB,
+) -> FigureResult:
+    """Reproduce Figure 4 (see module docstring)."""
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    series = {}
+    for duration in PAPER_DURATIONS:
+        splice = DurationSplicer(duration).splice(stream)
+        series[f"{int(duration)} sec segment"] = [
+            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+        ]
+    return FigureResult(
+        figure="fig4",
+        title="Startup time for different bandwidths",
+        metric="startup_time",
+        series=series,
+    )
+
+
+def main() -> None:
+    """Print the reproduced figure."""
+    from .report import format_figure
+
+    print(format_figure(run(), precision=2))
+
+
+if __name__ == "__main__":
+    main()

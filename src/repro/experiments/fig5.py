@@ -1,0 +1,74 @@
+"""Figure 5 — total number of stalls for different pool sizes.
+
+Series: the paper's adaptive pooling (Eq. 1) against fixed pools of 2,
+4, and 8 segments; 4-second duration splicing; x-axis bandwidth
+128–768 kB/s.
+
+Expected shape (paper Section VI-B): adaptive pooling stalls least;
+"when the bandwidth is small, a large pool size increases the network
+overload in the peer's network which increases the stalls", while at
+high bandwidth large pools are harmless.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import AdaptivePoolPolicy, DownloadPolicy, FixedPoolPolicy
+from ..core.splicer import DurationSplicer
+from ..video.bitstream import Bitstream
+from .config import (
+    PAPER_BANDWIDTHS_KB,
+    PAPER_POOL_SIZES,
+    ExperimentConfig,
+    make_paper_video,
+)
+from .runner import FigureResult, run_cell
+
+#: Segment duration used in the pooling experiment, seconds.
+FIG5_SEGMENT_DURATION = 4.0
+
+
+def policies() -> list[DownloadPolicy]:
+    """Adaptive pooling plus the paper's fixed-pool baselines."""
+    return [AdaptivePoolPolicy()] + [
+        FixedPoolPolicy(size) for size in PAPER_POOL_SIZES
+    ]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> FigureResult:
+    """Reproduce Figure 5 (see module docstring)."""
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    splice = DurationSplicer(FIG5_SEGMENT_DURATION).splice(stream)
+    labels = {
+        "adaptive": "Adaptive pooling",
+        "fixed-2": "Pool size: 2",
+        "fixed-4": "Pool size: 4",
+        "fixed-8": "Pool size: 8",
+    }
+    series = {}
+    for policy in policies():
+        series[labels[policy.name]] = [
+            run_cell(splice, bw, cfg, policy=policy)
+            for bw in bandwidths_kb
+        ]
+    return FigureResult(
+        figure="fig5",
+        title="Total number of stalls for different pool sizes",
+        metric="stall_count",
+        series=series,
+    )
+
+
+def main() -> None:
+    """Print the reproduced figure."""
+    from .report import format_figure
+
+    print(format_figure(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""JSON persistence for reproduced figures.
+
+Lets a long benchmark run be archived and re-rendered (or diffed
+against a later run) without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..errors import ExperimentError
+from .runner import CellResult, FigureResult
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialize a figure (and all of its cells) to JSON text."""
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "metric": result.metric,
+        "series": {
+            label: [dataclasses.asdict(cell) for cell in cells]
+            for label, cells in result.series.items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Parse JSON produced by :func:`figure_to_json`.
+
+    Raises:
+        ExperimentError: on malformed or incomplete documents.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"malformed figure JSON: {exc}") from exc
+    try:
+        series = {
+            label: [CellResult(**cell) for cell in cells]
+            for label, cells in payload["series"].items()
+        }
+        return FigureResult(
+            figure=payload["figure"],
+            title=payload["title"],
+            metric=payload["metric"],
+            series=series,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(
+            f"figure JSON missing required fields: {exc}"
+        ) from exc

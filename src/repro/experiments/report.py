@@ -1,0 +1,69 @@
+"""ASCII rendering of reproduced figures."""
+
+from __future__ import annotations
+
+from .runner import FigureResult
+
+_UNITS = {
+    "stall_count": "stalls",
+    "stall_duration": "seconds",
+    "startup_time": "seconds",
+}
+
+
+def format_figure(result: FigureResult, precision: int = 1) -> str:
+    """Render a figure as a bandwidth-by-series table.
+
+    Mirrors the paper's presentation: one row per series (splicing
+    technique or pool policy), one column per bandwidth.
+    """
+    bandwidths: list[float] = []
+    for cells in result.series.values():
+        for cell in cells:
+            if cell.bandwidth_kb not in bandwidths:
+                bandwidths.append(cell.bandwidth_kb)
+    bandwidths.sort()
+
+    unit = _UNITS.get(result.metric, result.metric)
+    header = [f"{result.figure}  {result.title}  [{unit}]"]
+    label_width = max(
+        (len(label) for label in result.series), default=8
+    )
+    label_width = max(label_width, len("series"))
+    columns = [f"{int(bw)} kB/s" for bw in bandwidths]
+    widths = [max(len(c), 8) for c in columns]
+    rule = "-" * (label_width + 3 + sum(w + 3 for w in widths))
+    header.append(rule)
+    header.append(
+        "series".ljust(label_width)
+        + " | "
+        + " | ".join(c.rjust(w) for c, w in zip(columns, widths))
+    )
+    header.append(rule)
+    for label, cells in result.series.items():
+        by_bw = {cell.bandwidth_kb: cell for cell in cells}
+        row = []
+        for bw, width in zip(bandwidths, widths):
+            cell = by_bw.get(bw)
+            if cell is None:
+                row.append("-".rjust(width))
+            else:
+                row.append(
+                    f"{result.value(cell):.{precision}f}".rjust(width)
+                )
+        header.append(
+            label.ljust(label_width) + " | " + " | ".join(row)
+        )
+    header.append(rule)
+    return "\n".join(header)
+
+
+def format_cells_csv(result: FigureResult) -> str:
+    """Render a figure's data as CSV (series,bandwidth_kb,value)."""
+    lines = ["series,bandwidth_kb,value"]
+    for label, cells in result.series.items():
+        for cell in cells:
+            lines.append(
+                f"{label},{cell.bandwidth_kb:g},{result.value(cell):g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Run the whole evaluation and emit one consolidated report.
+
+``reproduce_all`` regenerates every paper figure plus the ablations
+and renders them as a single markdown-ish document — the programmatic
+equivalent of EXPERIMENTS.md's measured columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..video.bitstream import Bitstream
+from . import fig2, fig3, fig4, fig5
+from .ablations import (
+    run_churn,
+    run_overhead,
+    run_preroll,
+    run_segment_size_sweep,
+    run_swarm_scaling,
+    run_variable_bandwidth,
+)
+from .config import ExperimentConfig, make_paper_video
+from .report import format_figure
+from .runner import FigureResult
+
+
+@dataclass(frozen=True, slots=True)
+class ReproductionReport:
+    """Everything one reproduction run produced.
+
+    Attributes:
+        figures: the regenerated figures, in paper order.
+        overhead_table: the A3 byte-overhead rows, pre-rendered.
+        elapsed: wall-clock seconds the run took.
+    """
+
+    figures: tuple[FigureResult, ...]
+    overhead_table: str
+    elapsed: float
+
+    def render(self) -> str:
+        """Render the whole report as text."""
+        parts = [
+            "# Reproduction report",
+            "",
+            f"(regenerated in {self.elapsed:.0f}s wall-clock)",
+            "",
+            "## Splicing overhead (A3)",
+            "",
+            self.overhead_table,
+        ]
+        for figure in self.figures:
+            parts.append("")
+            parts.append(f"## {figure.figure}")
+            parts.append("")
+            precision = 2 if figure.metric == "startup_time" else 1
+            parts.append(format_figure(figure, precision=precision))
+        return "\n".join(parts) + "\n"
+
+
+def reproduce_all(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    include_ablations: bool = True,
+) -> ReproductionReport:
+    """Regenerate every figure (and optionally every ablation).
+
+    Args:
+        config: shared experiment parameters (the paper's defaults).
+        video: pre-encoded video; encoded fresh when omitted.
+        include_ablations: also run A1/A2/A4/A7/A8 (slower).
+
+    Returns:
+        The consolidated :class:`ReproductionReport`.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    started = time.monotonic()
+
+    figures: list[FigureResult] = [
+        fig2.run(cfg, video=stream),
+        fig3.run(cfg, video=stream),
+        fig4.run(cfg, video=stream),
+        fig5.run(cfg, video=stream),
+    ]
+    if include_ablations:
+        figures.extend(
+            [
+                run_segment_size_sweep(cfg, video=stream),
+                run_churn(cfg, video=stream),
+                run_variable_bandwidth(cfg, video=stream),
+                run_preroll(cfg, video=stream),
+                run_swarm_scaling(cfg, video=stream),
+            ]
+        )
+
+    lines = [
+        f"{'technique':12s} {'segments':>8s} {'total MB':>9s} "
+        f"{'overhead':>9s}"
+    ]
+    for row in run_overhead(video=stream):
+        lines.append(
+            f"{row.technique:12s} {row.segments:8d} "
+            f"{row.total_bytes / 1e6:9.2f} "
+            f"{row.overhead_percent:8.1f}%"
+        )
+
+    return ReproductionReport(
+        figures=tuple(figures),
+        overhead_table="\n".join(lines),
+        elapsed=time.monotonic() - started,
+    )

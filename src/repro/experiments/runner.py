@@ -1,0 +1,110 @@
+"""Sweep runner: one cell = one (technique, bandwidth, policy) point,
+averaged over the configured seeds as the paper averages three runs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..core.policy import DownloadPolicy
+from ..core.segments import SpliceResult
+from ..p2p.swarm import Swarm, SwarmResult
+from .config import ExperimentConfig, make_swarm_config
+
+
+@dataclass(frozen=True, slots=True)
+class CellResult:
+    """Seed-averaged metrics for one experimental cell.
+
+    Attributes:
+        bandwidth_kb: peer bandwidth of the cell, kB/s.
+        stall_count: mean stalls per finishing peer, averaged over
+            seeds.
+        stall_duration: mean total stall seconds per finishing peer.
+        startup_time: mean startup seconds per starting peer.
+        seeder_bytes: mean bytes served by the seeder per run.
+        peer_bytes: mean bytes served peer-to-peer per run.
+        finished_fraction: fraction of peers that finished playback.
+    """
+
+    bandwidth_kb: float
+    stall_count: float
+    stall_duration: float
+    startup_time: float
+    seeder_bytes: float
+    peer_bytes: float
+    finished_fraction: float
+
+    @property
+    def rounded_stalls(self) -> int:
+        """Stall count as the paper reports it ("rounded average")."""
+        return round(self.stall_count)
+
+
+@dataclass(frozen=True, slots=True)
+class FigureResult:
+    """One reproduced figure: labeled series over the bandwidth axis.
+
+    Attributes:
+        figure: figure identifier (e.g. ``"fig2"``).
+        title: human-readable title.
+        metric: which CellResult field the figure plots.
+        series: label -> cells in bandwidth order.
+    """
+
+    figure: str
+    title: str
+    metric: str
+    series: dict[str, list[CellResult]]
+
+    def value(self, cell: CellResult) -> float:
+        """Extract this figure's metric from a cell."""
+        return float(getattr(cell, self.metric))
+
+
+def run_cell(
+    splice: SpliceResult,
+    bandwidth_kb: float,
+    config: ExperimentConfig | None = None,
+    policy: DownloadPolicy | None = None,
+) -> CellResult:
+    """Run one cell: every configured seed, then average.
+
+    Args:
+        splice: the spliced video to stream.
+        bandwidth_kb: peer bandwidth in kB/s.
+        config: shared experiment parameters.
+        policy: download policy override.
+
+    Returns:
+        Seed-averaged :class:`CellResult`.
+    """
+    cfg = config or ExperimentConfig()
+    results: list[SwarmResult] = []
+    for seed in cfg.seeds:
+        swarm_config = make_swarm_config(
+            bandwidth_kb, seed, cfg, policy
+        )
+        results.append(Swarm(splice, swarm_config).run())
+    return CellResult(
+        bandwidth_kb=bandwidth_kb,
+        stall_count=statistics.fmean(
+            r.mean_stall_count() for r in results
+        ),
+        stall_duration=statistics.fmean(
+            r.mean_stall_duration() for r in results
+        ),
+        startup_time=statistics.fmean(
+            r.mean_startup_time() for r in results
+        ),
+        seeder_bytes=statistics.fmean(
+            r.seeder_bytes_uploaded for r in results
+        ),
+        peer_bytes=statistics.fmean(
+            r.peer_bytes_uploaded for r in results
+        ),
+        finished_fraction=statistics.fmean(
+            len(r.finished_metrics()) / max(1, len(r.metrics))
+            for r in results
+        ),
+    )

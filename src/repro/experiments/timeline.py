@@ -1,0 +1,74 @@
+"""Per-peer session timelines.
+
+Renders what each peer experienced during a swarm run — joining,
+startup, playing, stalling, finishing — as an ASCII timeline, which is
+how most of this reproduction's swarm-dynamics bugs were found.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from ..p2p.swarm import SwarmResult
+
+
+def render_timeline(
+    result: SwarmResult,
+    width: int = 80,
+    end_time: float | None = None,
+) -> str:
+    """Render a swarm result as one timeline row per peer.
+
+    Legend: ``.`` waiting for startup, ``=`` playing, ``#`` stalled,
+    ``$`` finished, `` `` not yet joined / departed.
+
+    Args:
+        result: the finished swarm run.
+        width: characters per row.
+        end_time: timeline horizon; defaults to the last playback end
+            (or stall) observed.
+
+    Returns:
+        A multi-line string, peers in name order.
+    """
+    if width < 10:
+        raise ExperimentError(f"width must be >= 10, got {width}")
+    horizon = end_time if end_time is not None else _horizon(result)
+    if horizon <= 0:
+        raise ExperimentError("nothing to render: horizon is 0")
+    scale = horizon / width
+
+    lines = [
+        f"timeline  0s .. {horizon:.0f}s   "
+        "(. startup, = playing, # stalled, $ finished)"
+    ]
+    for name in sorted(result.metrics):
+        metrics = result.metrics[name]
+        row = []
+        for column in range(width):
+            t = column * scale
+            row.append(_symbol_at(metrics, t))
+        lines.append(f"{name:>8s} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def _horizon(result: SwarmResult) -> float:
+    latest = 0.0
+    for metrics in result.metrics.values():
+        if metrics.playback_end is not None:
+            latest = max(latest, metrics.playback_end)
+        for stall in metrics.stalls:
+            latest = max(latest, stall.end)
+    return latest
+
+
+def _symbol_at(metrics, t: float) -> str:
+    if t < metrics.session_start:
+        return " "
+    if metrics.playback_start is None or t < metrics.playback_start:
+        return "."
+    if metrics.playback_end is not None and t >= metrics.playback_end:
+        return "$"
+    for stall in metrics.stalls:
+        if stall.start <= t < stall.end:
+            return "#"
+    return "="

@@ -1,0 +1,80 @@
+"""A9 — transport study: TCP vs a PPSPP/Libswift-style UDP protocol.
+
+The paper streams over TCP and cites the IETF's UDP-based streaming
+protocols (Libswift, PPSPP) as the designed-for-streaming alternative.
+This study re-runs the splicing comparison on both transports: the
+delay-based transport pays no Mathis ceiling and no timeout collapse,
+so the low-bandwidth pathologies of small segments should soften.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.splicer import DurationSplicer, GopSplicer, Splicer
+from ..net.tcp import TcpParams, ppspp_params
+from ..video.bitstream import Bitstream
+from .config import ExperimentConfig, make_paper_video, make_swarm_config
+from .runner import CellResult, FigureResult
+from ..p2p.swarm import Swarm
+
+import statistics
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = (128, 256, 512),
+    splicer: Splicer | None = None,
+) -> FigureResult:
+    """Compare transports across bandwidths for one splicing.
+
+    Args:
+        config: shared experiment parameters.
+        video: pre-encoded video.
+        bandwidths_kb: x-axis points.
+        splicer: splicing technique (default: 2-second duration — the
+            one TCP punishes hardest).
+
+    Returns:
+        One series per transport.
+    """
+    cfg = config or ExperimentConfig()
+    stream = video if video is not None else make_paper_video(cfg)
+    splice = (splicer or DurationSplicer(2.0)).splice(stream)
+    transports: dict[str, TcpParams] = {
+        "tcp": TcpParams(),
+        "ppspp-udp": ppspp_params(),
+    }
+    series: dict[str, list[CellResult]] = {}
+    for label, params in transports.items():
+        cells = []
+        for bandwidth_kb in bandwidths_kb:
+            stalls, durations, startups = [], [], []
+            for seed in cfg.seeds:
+                swarm_config = replace(
+                    make_swarm_config(bandwidth_kb, seed, cfg),
+                    tcp_params=params,
+                )
+                result = Swarm(splice, swarm_config).run()
+                stalls.append(result.mean_stall_count())
+                durations.append(result.mean_stall_duration())
+                startups.append(result.mean_startup_time())
+            cells.append(
+                CellResult(
+                    bandwidth_kb=bandwidth_kb,
+                    stall_count=statistics.fmean(stalls),
+                    stall_duration=statistics.fmean(durations),
+                    startup_time=statistics.fmean(startups),
+                    seeder_bytes=0.0,
+                    peer_bytes=0.0,
+                    finished_fraction=1.0,
+                )
+            )
+        series[label] = cells
+    return FigureResult(
+        figure="A9",
+        title=f"Transport comparison ({splice.technique})",
+        metric="stall_count",
+        series=series,
+    )

@@ -1,0 +1,145 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are ``(time, seq,
+callback)`` triples in a heap; ties in time break by scheduling order
+(``seq``), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self._seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self._seq) < (other.time, other._seq)
+
+    def _fire(self) -> None:
+        self._callback(*self._args)
+
+
+class Simulator:
+    """The simulated clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg)
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[EventHandle] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: non-negative offset from the current time.
+            callback: function invoked when the event fires.
+            *args: positional arguments for the callback.
+
+        Returns:
+            A cancellable :class:`EventHandle`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        self._seq += 1
+        event = EventHandle(max(time, self._now), self._seq, callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order.
+
+        Args:
+            until: stop once the clock would pass this time (the event
+                at exactly ``until`` still fires); ``None`` runs until
+                the queue drains.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event._fire()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: float = 1e9) -> None:
+        """Run until no events remain, guarding against runaway loops.
+
+        Raises:
+            SimulationError: if the clock exceeds ``max_time`` with
+                events still pending (almost always a scheduling bug).
+        """
+        self.run(until=max_time)
+        if self.pending_events:
+            raise SimulationError(
+                f"simulation still has {self.pending_events} events pending "
+                f"at the {max_time}s safety limit"
+            )

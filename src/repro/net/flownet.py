@@ -1,0 +1,321 @@
+"""Flow-level bandwidth sharing with max-min fairness.
+
+Concurrent transfers are *fluid flows* over routes of links.  Whenever
+the set of flows (or a capacity or per-flow rate cap) changes, rates
+are re-solved by progressive filling: all flows' rates rise together
+until a link saturates or a flow hits its cap, those flows freeze, and
+filling continues — the textbook max-min fair allocation.
+
+This is the standard abstraction for simulating TCP sharing at the
+timescale of segment downloads: each flow's cap is supplied by the TCP
+model (slow-start ramp, Mathis loss ceiling) and the network solves the
+induced sharing exactly instead of simulating packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from ..errors import NetworkError
+from .engine import EventHandle, Simulator
+from .link import Link
+
+#: Bytes below which a flow counts as complete (float-drift guard).
+_COMPLETION_EPSILON = 1e-3
+#: Rate increments below this are treated as zero in progressive filling.
+_RATE_EPSILON = 1e-9
+
+
+class Flow:
+    """One fluid transfer across a route of links.
+
+    Created via :meth:`FlowNetwork.start_flow`; read-only for callers.
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = (
+        "id",
+        "route",
+        "size",
+        "remaining",
+        "rate",
+        "rate_limit",
+        "min_efficient_rate",
+        "on_complete",
+        "started_at",
+        "completed_at",
+        "cancelled",
+    )
+
+    def __init__(
+        self,
+        route: tuple[Link, ...],
+        size: float,
+        rate_limit: float | None,
+        on_complete: Callable[["Flow"], None] | None,
+        started_at: float,
+        min_efficient_rate: float = 0.0,
+    ) -> None:
+        self.id = next(Flow._ids)
+        self.route = route
+        self.size = size
+        self.remaining = size
+        self.rate = 0.0
+        self.rate_limit = rate_limit
+        self.min_efficient_rate = min_efficient_rate
+        self.on_complete = on_complete
+        self.started_at = started_at
+        self.completed_at: float | None = None
+        self.cancelled = False
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far."""
+        return self.size - self.remaining
+
+    @property
+    def active(self) -> bool:
+        """Whether the flow is still moving data."""
+        return self.completed_at is None and not self.cancelled
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow(#{self.id}, size={self.size:.0f}, "
+            f"remaining={self.remaining:.0f}, rate={self.rate:.0f}B/s)"
+        )
+
+
+class FlowNetwork:
+    """The set of links and currently-active flows.
+
+    Args:
+        sim: the simulator supplying the clock and event queue.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._flows: list[Flow] = []
+        self._last_update = 0.0
+        self._completion_event: EventHandle | None = None
+        self._link_bytes: dict[str, float] = {}
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator driving this network."""
+        return self._sim
+
+    @property
+    def active_flows(self) -> list[Flow]:
+        """Currently-active flows (snapshot copy)."""
+        return list(self._flows)
+
+    def flows_on(self, link: Link) -> int:
+        """Number of active flows traversing ``link``."""
+        return sum(1 for flow in self._flows if link in flow.route)
+
+    def bytes_carried(self, link: Link) -> float:
+        """Cumulative bytes this link has carried (for utilization)."""
+        self._advance()
+        return self._link_bytes.get(link.name, 0.0)
+
+    def start_flow(
+        self,
+        route: list[Link] | tuple[Link, ...],
+        size: float,
+        rate_limit: float | None = None,
+        on_complete: Callable[[Flow], None] | None = None,
+        min_efficient_rate: float = 0.0,
+    ) -> Flow:
+        """Begin a transfer of ``size`` bytes over ``route``.
+
+        Args:
+            route: ordered links the flow traverses (non-empty).
+            size: bytes to move (> 0).
+            rate_limit: optional cap in bytes/second (e.g. a TCP
+                congestion window); ``None`` means link-limited only.
+            on_complete: called with the flow when the last byte lands.
+            min_efficient_rate: the TCP window floor in bytes/second
+                (≈ MSS/RTT).  A fair share below this puts a real TCP
+                connection in the retransmission-timeout regime, so
+                goodput degrades quadratically below the floor; 0
+                disables the penalty.
+
+        Returns:
+            The new :class:`Flow`.
+        """
+        route = tuple(route)
+        if not route:
+            raise NetworkError("flow route must contain at least one link")
+        if size <= 0:
+            raise NetworkError(f"flow size must be positive, got {size}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise NetworkError(
+                f"rate_limit must be positive or None, got {rate_limit}"
+            )
+        if min_efficient_rate < 0:
+            raise NetworkError(
+                f"min_efficient_rate must be >= 0, got {min_efficient_rate}"
+            )
+        self._advance()
+        flow = Flow(
+            route,
+            size,
+            rate_limit,
+            on_complete,
+            self._sim.now,
+            min_efficient_rate,
+        )
+        self._flows.append(flow)
+        self._recompute()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort an active flow (no completion callback fires)."""
+        if not flow.active:
+            return
+        self._advance()
+        flow.cancelled = True
+        self._flows.remove(flow)
+        self._recompute()
+
+    def set_rate_limit(self, flow: Flow, rate_limit: float | None) -> None:
+        """Change a flow's rate cap (TCP window ramp); triggers resharing."""
+        if rate_limit is not None and rate_limit <= 0:
+            raise NetworkError(
+                f"rate_limit must be positive or None, got {rate_limit}"
+            )
+        if not flow.active:
+            return
+        self._advance()
+        flow.rate_limit = rate_limit
+        self._recompute()
+
+    def set_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity at runtime (variable-bandwidth runs)."""
+        self._advance()
+        link.capacity = capacity
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _advance(self) -> None:
+        """Credit every active flow with progress since the last update."""
+        now = self._sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                moved = flow.rate * elapsed
+                flow.remaining = max(0.0, flow.remaining - moved)
+                for link in flow.route:
+                    self._link_bytes[link.name] = (
+                        self._link_bytes.get(link.name, 0.0) + moved
+                    )
+        self._last_update = now
+
+    def _recompute(self) -> None:
+        """Re-solve rates and reschedule the next completion."""
+        self._allocate_max_min()
+        self._reschedule_completion()
+
+    def _allocate_max_min(self) -> None:
+        """Progressive-filling max-min fair allocation with rate caps."""
+        unfrozen = set(self._flows)
+        for flow in self._flows:
+            flow.rate = 0.0
+        link_remaining: dict[str, float] = {}
+        link_unfrozen: dict[str, set[Flow]] = {}
+        links: dict[str, Link] = {}
+        for flow in self._flows:
+            for link in flow.route:
+                links[link.name] = link
+                link_remaining.setdefault(link.name, link.capacity)
+                link_unfrozen.setdefault(link.name, set()).add(flow)
+
+        while unfrozen:
+            # Largest uniform rate increment that stays feasible.
+            delta = min(
+                (
+                    link_remaining[name] / len(members)
+                    for name, members in link_unfrozen.items()
+                    if members
+                ),
+                default=float("inf"),
+            )
+            for flow in unfrozen:
+                if flow.rate_limit is not None:
+                    delta = min(delta, flow.rate_limit - flow.rate)
+            if delta == float("inf"):
+                break
+            delta = max(delta, 0.0)
+
+            if delta > 0:
+                for flow in unfrozen:
+                    flow.rate += delta
+                for name, members in link_unfrozen.items():
+                    link_remaining[name] -= delta * len(members)
+
+            # Freeze flows that hit their cap or sit on a full link.
+            newly_frozen = {
+                flow
+                for flow in unfrozen
+                if flow.rate_limit is not None
+                and flow.rate >= flow.rate_limit - _RATE_EPSILON
+            }
+            for name, members in link_unfrozen.items():
+                if link_remaining[name] <= _RATE_EPSILON * max(
+                    1.0, links[name].capacity
+                ):
+                    newly_frozen |= members
+            if not newly_frozen:
+                # delta == 0 without anything freezing would loop
+                # forever; freeze everything as a defensive stop.
+                if delta <= 0:
+                    newly_frozen = set(unfrozen)
+                else:
+                    continue
+            unfrozen -= newly_frozen
+            for members in link_unfrozen.values():
+                members -= newly_frozen
+
+        # TCP window floor: a share below ~MSS/RTT leaves a real
+        # connection timeout-bound; goodput falls off quadratically.
+        for flow in self._flows:
+            floor = flow.min_efficient_rate
+            if floor > 0 and 0 < flow.rate < floor:
+                flow.rate = flow.rate * flow.rate / floor
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        soonest: float | None = None
+        for flow in self._flows:
+            if flow.rate <= 0:
+                continue
+            eta = flow.remaining / flow.rate
+            if soonest is None or eta < soonest:
+                soonest = eta
+        if soonest is not None:
+            self._completion_event = self._sim.schedule(
+                soonest, self._on_completion_due
+            )
+
+    def _on_completion_due(self) -> None:
+        self._completion_event = None
+        self._advance()
+        done = [
+            flow
+            for flow in self._flows
+            if flow.remaining <= _COMPLETION_EPSILON
+        ]
+        for flow in done:
+            flow.remaining = 0.0
+            flow.completed_at = self._sim.now
+            self._flows.remove(flow)
+        self._recompute()
+        for flow in done:
+            if flow.on_complete is not None:
+                flow.on_complete(flow)

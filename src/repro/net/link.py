@@ -1,0 +1,75 @@
+"""Unidirectional network links."""
+
+from __future__ import annotations
+
+from ..errors import LinkError
+
+
+class Link:
+    """A unidirectional link with capacity, propagation latency, and loss.
+
+    A full-duplex physical link is modeled as two :class:`Link`
+    objects, one per direction, so upload and download contention stay
+    independent — as on the paper's GENI virtual links.
+
+    Args:
+        name: unique human-readable identifier.
+        capacity: data rate in bytes/second (> 0); mutable at runtime
+            via :attr:`capacity` to model variable-bandwidth scenarios.
+        latency: one-way propagation delay in seconds (>= 0).
+        loss_rate: packet loss probability in [0, 1).
+    """
+
+    __slots__ = ("name", "_capacity", "latency", "loss_rate")
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        latency: float = 0.0,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise LinkError(f"link {name}: capacity must be > 0: {capacity}")
+        if latency < 0:
+            raise LinkError(f"link {name}: latency must be >= 0: {latency}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise LinkError(
+                f"link {name}: loss_rate must be in [0, 1): {loss_rate}"
+            )
+        self.name = name
+        self._capacity = capacity
+        self.latency = latency
+        self.loss_rate = loss_rate
+
+    @property
+    def capacity(self) -> float:
+        """Link data rate in bytes/second."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: float) -> None:
+        if value <= 0:
+            raise LinkError(
+                f"link {self.name}: capacity must be > 0: {value}"
+            )
+        self._capacity = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name!r}, capacity={self._capacity:.0f}B/s, "
+            f"latency={self.latency * 1000:.1f}ms, loss={self.loss_rate})"
+        )
+
+
+def path_latency(links: list[Link]) -> float:
+    """One-way propagation latency of a path, in seconds."""
+    return sum(link.latency for link in links)
+
+
+def path_loss_rate(links: list[Link]) -> float:
+    """End-to-end loss probability of a path (independent per link)."""
+    survive = 1.0
+    for link in links:
+        survive *= 1.0 - link.loss_rate
+    return 1.0 - survive

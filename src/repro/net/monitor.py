@@ -1,0 +1,127 @@
+"""Link utilization monitoring.
+
+Samples the flow network at a fixed period and accumulates per-link
+utilization statistics — the observability layer the ablations and the
+A1 sweet-spot analysis rely on ("very small segments reduce network
+throughput" is a utilization statement).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .flownet import FlowNetwork
+from .link import Link
+
+
+@dataclass(frozen=True, slots=True)
+class LinkUtilization:
+    """Utilization summary of one link over the monitored window.
+
+    Attributes:
+        link_name: which link.
+        mean: mean utilization in [0, 1] across samples.
+        peak: maximum sampled utilization.
+        busy_fraction: fraction of samples with any active flow.
+        samples: number of samples taken.
+    """
+
+    link_name: str
+    mean: float
+    peak: float
+    busy_fraction: float
+    samples: int
+
+
+class LinkMonitor:
+    """Periodically samples allocated rate / capacity per link.
+
+    Args:
+        sim: the simulator.
+        network: the flow network to sample.
+        links: links to watch.
+        period: sampling period in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FlowNetwork,
+        links: list[Link],
+        period: float = 1.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(
+                f"period must be positive, got {period}"
+            )
+        if not links:
+            raise ConfigurationError("links must be non-empty")
+        self._sim = sim
+        self._network = network
+        self._links = list(links)
+        self._period = period
+        self._samples: dict[str, list[float]] = {
+            link.name: [] for link in self._links
+        }
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._sim.schedule(self._period, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling after the current period."""
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        for link in self._links:
+            allocated = sum(
+                flow.rate
+                for flow in self._network.active_flows
+                if link in flow.route
+            )
+            self._samples[link.name].append(
+                min(1.0, allocated / link.capacity)
+            )
+        self._sim.schedule(self._period, self._sample)
+
+    def utilization(self, link: Link) -> LinkUtilization:
+        """Summarize the samples collected for ``link``.
+
+        Raises:
+            ConfigurationError: if the link was never monitored or no
+                samples were taken.
+        """
+        samples = self._samples.get(link.name)
+        if samples is None:
+            raise ConfigurationError(
+                f"link {link.name!r} is not monitored"
+            )
+        if not samples:
+            raise ConfigurationError(
+                f"no samples collected for link {link.name!r}"
+            )
+        return LinkUtilization(
+            link_name=link.name,
+            mean=statistics.fmean(samples),
+            peak=max(samples),
+            busy_fraction=sum(1 for s in samples if s > 0)
+            / len(samples),
+            samples=len(samples),
+        )
+
+    def report(self) -> list[LinkUtilization]:
+        """Utilization summaries for every monitored link with samples."""
+        return [
+            self.utilization(link)
+            for link in self._links
+            if self._samples[link.name]
+        ]

@@ -1,0 +1,71 @@
+"""Peer-departure (churn) model.
+
+"In P2P video streaming, peers can leave the swarm anytime."  The model
+samples, for a configurable fraction of leechers, an exponential
+lifetime after which the peer departs — cancelling its uploads and
+downloads and broadcasting a goodbye.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Churn parameters.
+
+    Attributes:
+        mean_lifetime: mean seconds a churning peer stays, from join.
+        fraction: fraction of leechers that will churn (0 disables).
+        min_lifetime: floor on sampled lifetimes, seconds.
+    """
+
+    mean_lifetime: float = 60.0
+    fraction: float = 0.0
+    min_lifetime: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mean_lifetime <= 0:
+            raise ConfigurationError(
+                f"mean_lifetime must be positive, got {self.mean_lifetime}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.min_lifetime < 0:
+            raise ConfigurationError(
+                f"min_lifetime must be >= 0, got {self.min_lifetime}"
+            )
+
+
+class ChurnModel:
+    """Samples departure times for a swarm's leechers.
+
+    Args:
+        config: churn parameters.
+        rng: seeded random source.
+    """
+
+    def __init__(self, config: ChurnConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+
+    @property
+    def config(self) -> ChurnConfig:
+        """The model's parameters."""
+        return self._config
+
+    def departure_delay(self) -> float | None:
+        """Seconds after join at which one leecher departs.
+
+        Returns None when this leecher stays for the whole session.
+        """
+        if self._rng.random() >= self._config.fraction:
+            return None
+        lifetime = self._rng.expovariate(1.0 / self._config.mean_lifetime)
+        return max(self._config.min_lifetime, lifetime)

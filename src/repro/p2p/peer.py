@@ -1,0 +1,368 @@
+"""Peer plumbing shared by seeders and leechers.
+
+Control messages (handshakes, haves, requests) are small: they are
+encoded through the real wire codec, then delivered after the
+end-to-end control latency — their bandwidth use is negligible and not
+charged against links.  Segment payloads are large: each one travels as
+its own TCP transfer through the flow network, exactly like the paper's
+per-segment Java-socket connections.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import PeerError
+from ..net.engine import Simulator
+from ..net.flownet import FlowNetwork
+from ..net.tcp import TcpParams, TcpTransfer, start_tcp_transfer
+from ..net.topology import Node, StarTopology
+from .messages import (
+    Bitfield,
+    Cancel,
+    Goodbye,
+    Handshake,
+    Have,
+    Manifest,
+    ManifestRequest,
+    Message,
+    Piece,
+    Request,
+    RequestRejected,
+    decode_message,
+    encode_message,
+)
+from .wire import FrameDecoder, encode_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+def piece_wire_overhead(peer_id: str, index: int, size: int) -> int:
+    """Bytes of protocol overhead carried with one segment transfer."""
+    return len(encode_frame(encode_message(Piece(peer_id, index, size))))
+
+
+class ControlPlane:
+    """Latency-delayed, loss-free delivery of encoded control messages.
+
+    Args:
+        sim: the simulator.
+        topology: supplies baseline node-to-node propagation latency.
+        extra_latency: optional ``(src_name, dst_name) -> seconds``
+            hook adding latency for specific pairs — used to model the
+            paper's 500 ms peer-to-seeder control latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: StarTopology,
+        extra_latency: Callable[[str, str], float] | None = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._extra_latency = extra_latency
+        self._peers: dict[str, "PeerBase"] = {}
+        self.messages_sent = 0
+        self.control_bytes = 0
+
+    def register(self, peer: "PeerBase") -> None:
+        """Make a peer reachable by name."""
+        if peer.name in self._peers:
+            raise PeerError(f"peer name {peer.name!r} already registered")
+        self._peers[peer.name] = peer
+
+    def unregister(self, name: str) -> None:
+        """Remove a departed peer (idempotent)."""
+        self._peers.pop(name, None)
+
+    def peer(self, name: str) -> "PeerBase | None":
+        """Look a live peer up by name (None if gone)."""
+        return self._peers.get(name)
+
+    def delay(self, src_name: str, dst_name: str) -> float:
+        """Control-message latency from ``src`` to ``dst``, seconds."""
+        src = self._topology.node(src_name)
+        dst = self._topology.node(dst_name)
+        base = self._topology.one_way_latency(src, dst)
+        if self._extra_latency is not None:
+            base += self._extra_latency(src_name, dst_name)
+        return base
+
+    def send(self, src: "PeerBase", dst_name: str, message: Message) -> None:
+        """Encode and deliver ``message`` after the pair's latency.
+
+        Messages to peers that have left by delivery time are silently
+        dropped, as a closed socket would drop them.
+        """
+        raw = encode_frame(encode_message(message))
+        self.messages_sent += 1
+        self.control_bytes += len(raw)
+        delay = self.delay(src.name, dst_name)
+        self._sim.schedule(delay, self._deliver, src.name, dst_name, raw)
+
+    def _deliver(self, src_name: str, dst_name: str, raw: bytes) -> None:
+        dst = self._peers.get(dst_name)
+        if dst is not None and dst.alive:
+            dst.receive_control(src_name, raw)
+
+
+class PeerBase:
+    """State and behaviour common to seeders and leechers.
+
+    Uploads can be *slotted*, like BitTorrent's unchoked set: at most
+    ``upload_slots`` segment transfers run at once, further requests
+    queue (urgent first), and requests landing on an over-full queue
+    are choked (``RequestRejected(busy=True)``).  The default
+    (``upload_slots=None``) serves every request concurrently and lets
+    TCP fair-sharing sort it out — which is what the paper's plain
+    Java-socket application did.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node: Node,
+        sim: Simulator,
+        network: FlowNetwork,
+        topology: StarTopology,
+        control: ControlPlane,
+        tcp_params: TcpParams | None = None,
+        upload_slots: int | None = None,
+    ) -> None:
+        if upload_slots is not None and upload_slots < 1:
+            raise PeerError(
+                f"upload_slots must be >= 1 or None, got {upload_slots}"
+            )
+        self.name = name
+        self.node = node
+        self._sim = sim
+        self._network = network
+        self._topology = topology
+        self._control = control
+        self._tcp_params = tcp_params or TcpParams()
+        self._decoder = FrameDecoder()
+        self.alive = True
+        self.owned: set[int] = set()
+        self.segment_sizes: dict[int, int] = {}
+        self.bytes_uploaded = 0.0
+        self.upload_slots = upload_slots
+        self._uploads: dict[int, tuple[TcpTransfer, str, int]] = {}
+        self._upload_queue: list[tuple[str, int, bool]] = []
+        self._upload_seq = 0
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this peer lives in."""
+        return self._sim
+
+    @property
+    def control(self) -> ControlPlane:
+        """The control plane used for small messages."""
+        return self._control
+
+    @property
+    def active_upload_count(self) -> int:
+        """Number of segment uploads currently in flight."""
+        return len(self._uploads)
+
+    # -- messaging -----------------------------------------------------
+
+    def send(self, dst_name: str, message: Message) -> None:
+        """Send a control message to another peer."""
+        if not self.alive:
+            return
+        self._control.send(self, dst_name, message)
+
+    def receive_control(self, src_name: str, raw: bytes) -> None:
+        """Decode an incoming control frame and dispatch it."""
+        for payload in self._decoder.feed(raw):
+            self.handle_message(src_name, decode_message(payload))
+
+    def handle_message(self, src_name: str, message: Message) -> None:
+        """Dispatch one decoded message; subclasses extend."""
+        if isinstance(message, Request):
+            self._handle_request(src_name, message.index, message.urgent)
+        elif isinstance(message, Cancel):
+            self._handle_cancel(src_name, message.index)
+        elif isinstance(message, Handshake):
+            self._handle_handshake(src_name, message)
+        elif isinstance(message, Goodbye):
+            self._handle_goodbye(src_name)
+        elif isinstance(
+            message,
+            (Bitfield, Have, Manifest, ManifestRequest, RequestRejected,
+             Piece),
+        ):
+            # Subclasses that care override handle_message and call
+            # super() for the shared cases; silently ignoring here
+            # mirrors a real peer tolerating unexpected messages.
+            pass
+        else:  # pragma: no cover - registry covers all message types
+            raise PeerError(f"unhandled message {type(message).__name__}")
+
+    def _handle_handshake(self, src_name: str, message: Handshake) -> None:
+        """Default handshake reply: our bitfield."""
+        self.send(
+            src_name,
+            Bitfield(peer_id=self.name, indices=tuple(sorted(self.owned))),
+        )
+
+    # -- uploading -----------------------------------------------------
+
+    def _handle_request(
+        self, src_name: str, index: int, urgent: bool = False
+    ) -> None:
+        if index not in self.owned:
+            self.send(src_name, RequestRejected(self.name, index))
+            return
+        if (
+            not urgent
+            and self.upload_slots is not None
+            and len(self._upload_queue) >= self.upload_slots
+        ):
+            # Choke: the queue is already a full rotation deep; tell
+            # the requester to try another holder.
+            self.send(
+                src_name, RequestRejected(self.name, index, busy=True)
+            )
+            return
+        # Duplicate requests upgrade priority rather than double-send.
+        for transfer, dst, idx in self._uploads.values():
+            if dst == src_name and idx == index:
+                return  # already being sent
+        for pos, (src, idx, urg) in enumerate(self._upload_queue):
+            if src == src_name and idx == index:
+                if urgent and not urg:
+                    del self._upload_queue[pos]
+                    break
+                return  # already queued at sufficient priority
+        if urgent:
+            # Playback-critical: ahead of every queued prefetch, behind
+            # earlier urgent requests.
+            insert_at = sum(
+                1 for entry in self._upload_queue if entry[2]
+            )
+            self._upload_queue.insert(insert_at, (src_name, index, True))
+        else:
+            self._upload_queue.append((src_name, index, False))
+        self._pump_uploads()
+
+    def _handle_cancel(self, src_name: str, index: int) -> None:
+        """Drop a queued or in-flight upload the requester withdrew."""
+        self._upload_queue = [
+            entry
+            for entry in self._upload_queue
+            if not (entry[0] == src_name and entry[1] == index)
+        ]
+        for upload_id, (transfer, dst, idx) in list(self._uploads.items()):
+            if dst == src_name and idx == index:
+                transfer.cancel()
+                del self._uploads[upload_id]
+        self._pump_uploads()
+
+    def _handle_goodbye(self, src_name: str) -> None:
+        """Drop queued/active uploads addressed to a departed peer."""
+        self._upload_queue = [
+            entry for entry in self._upload_queue if entry[0] != src_name
+        ]
+        for upload_id, (transfer, dst, _) in list(self._uploads.items()):
+            if dst == src_name:
+                transfer.cancel()
+                del self._uploads[upload_id]
+        self.on_peer_left(src_name)
+        self._pump_uploads()
+
+    def upload_status(self, dst_name: str, index: int) -> str | None:
+        """Where an upload to ``dst_name`` for ``index`` stands.
+
+        Returns ``"active"`` when bytes are flowing, ``"queued"`` when
+        the request waits for a free slot, and ``None`` when this peer
+        knows nothing of it.  (A real receiver observes the same
+        distinction: data arriving on the socket, or silence.)
+        """
+        for transfer, dst, idx in self._uploads.values():
+            if dst == dst_name and idx == index and transfer.active:
+                return "active"
+        for src, idx, _ in self._upload_queue:
+            if src == dst_name and idx == index:
+                return "queued"
+        return None
+
+    def _pump_uploads(self) -> None:
+        """Start queued uploads while slots are free."""
+        while (
+            self.alive
+            and self._upload_queue
+            and (
+                self.upload_slots is None
+                or len(self._uploads) < self.upload_slots
+            )
+        ):
+            src_name, index, _ = self._upload_queue.pop(0)
+            requester = self._control.peer(src_name)
+            if requester is None or not requester.alive:
+                continue
+            size = self.segment_sizes[index]
+            wire_size = size + piece_wire_overhead(self.name, index, size)
+            route = self._topology.route(self.node, requester.node)
+            self._upload_seq += 1
+            upload_id = self._upload_seq
+            transfer = start_tcp_transfer(
+                self._sim,
+                self._network,
+                route,
+                wire_size,
+                params=self._tcp_params,
+                on_complete=lambda t, uid=upload_id: (
+                    self._on_upload_complete(uid, t)
+                ),
+            )
+            self._uploads[upload_id] = (transfer, src_name, index)
+
+    def _on_upload_complete(
+        self, upload_id: int, transfer: TcpTransfer
+    ) -> None:
+        _, dst_name, index = self._uploads.pop(upload_id)
+        self.bytes_uploaded += transfer.size
+        receiver = self._control.peer(dst_name)
+        if receiver is not None and receiver.alive:
+            receiver.on_segment_received(
+                self.name, index, self.segment_sizes[index]
+            )
+        self._pump_uploads()
+
+    # -- churn ---------------------------------------------------------
+
+    def leave(self) -> None:
+        """Depart the swarm: abort transfers and say goodbye."""
+        if not self.alive:
+            return
+        self.alive = False
+        for transfer, _, _ in self._uploads.values():
+            transfer.cancel()
+        self._uploads.clear()
+        self._upload_queue.clear()
+        for other in list(self._control_peer_names()):
+            self._control.send(self, other, Goodbye(self.name))
+        self._control.unregister(self.name)
+
+    def _control_peer_names(self) -> list[str]:
+        return [
+            name
+            for name in self._control._peers  # noqa: SLF001 - same package
+            if name != self.name
+        ]
+
+    # -- hooks for subclasses -------------------------------------------
+
+    def on_segment_received(
+        self, src_name: str, index: int, size: int
+    ) -> None:
+        """A segment transfer addressed to this peer completed."""
+
+    def on_peer_left(self, peer_name: str) -> None:
+        """A peer announced departure."""

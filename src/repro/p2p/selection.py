@@ -1,0 +1,165 @@
+"""Piece-selection strategies.
+
+The paper's client watches (and therefore fetches) sequentially,
+citing that "95% of users of a P2P TV watch video sequentially".
+Classic BitTorrent instead fetches rarest-first to maximise piece
+diversity.  Streaming systems in the literature (and this module)
+bridge the two: sequential for what is about to play, rarest-first
+inside a look-ahead window for everything else.
+
+A selector orders the *candidate* segments a leecher may request; the
+leecher still applies its pool-size policy on top.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from ..errors import ConfigurationError
+
+
+class PieceSelector(abc.ABC):
+    """Strategy interface: order candidate segments for requesting."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short selector name used in reports."""
+
+    @abc.abstractmethod
+    def order(
+        self,
+        missing: list[int],
+        next_needed: int | None,
+        availability: dict[str, set[int]],
+        rng: random.Random,
+    ) -> list[int]:
+        """Return ``missing`` reordered by request priority.
+
+        Args:
+            missing: segment indices not yet buffered, ascending.
+            next_needed: the segment the player needs next (None when
+                playback has finished or not begun).
+            availability: holder -> set of segment indices, the
+                leecher's current knowledge of the swarm.
+            rng: the leecher's seeded tie-break source.
+        """
+
+
+class SequentialSelector(PieceSelector):
+    """The paper's policy: strictly in playback order."""
+
+    @property
+    def name(self) -> str:
+        return "sequential"
+
+    def order(
+        self,
+        missing: list[int],
+        next_needed: int | None,
+        availability: dict[str, set[int]],
+        rng: random.Random,
+    ) -> list[int]:
+        return sorted(missing)
+
+
+class RarestFirstSelector(PieceSelector):
+    """Pure BitTorrent ordering: fewest holders first.
+
+    Poorly suited to streaming on its own (it happily fetches the
+    video's tail first); provided as the classic baseline.
+    """
+
+    @property
+    def name(self) -> str:
+        return "rarest-first"
+
+    def order(
+        self,
+        missing: list[int],
+        next_needed: int | None,
+        availability: dict[str, set[int]],
+        rng: random.Random,
+    ) -> list[int]:
+        counts = _holder_counts(missing, availability)
+        shuffled = list(missing)
+        rng.shuffle(shuffled)  # random tie-break, like BitTorrent
+        return sorted(shuffled, key=lambda index: counts[index])
+
+
+class WindowedRarestSelector(PieceSelector):
+    """Streaming hybrid: sequential head, rarest-first look-ahead.
+
+    The next ``urgent_window`` segments after the playhead are taken
+    strictly in order (they are about to play); within the following
+    ``lookahead`` segments, rarest-first maximises swarm diversity.
+
+    Args:
+        urgent_window: segments fetched strictly in playback order.
+        lookahead: size of the rarest-first window behind them.
+    """
+
+    def __init__(self, urgent_window: int = 2, lookahead: int = 8) -> None:
+        if urgent_window < 1:
+            raise ConfigurationError(
+                f"urgent_window must be >= 1, got {urgent_window}"
+            )
+        if lookahead < 0:
+            raise ConfigurationError(
+                f"lookahead must be >= 0, got {lookahead}"
+            )
+        self._urgent_window = urgent_window
+        self._lookahead = lookahead
+
+    @property
+    def name(self) -> str:
+        return f"windowed-rarest-{self._urgent_window}+{self._lookahead}"
+
+    def order(
+        self,
+        missing: list[int],
+        next_needed: int | None,
+        availability: dict[str, set[int]],
+        rng: random.Random,
+    ) -> list[int]:
+        ordered = sorted(missing)
+        if next_needed is None:
+            head_base = ordered[0] if ordered else 0
+        else:
+            head_base = next_needed
+        head = [
+            index
+            for index in ordered
+            if index < head_base + self._urgent_window
+        ]
+        window = [
+            index
+            for index in ordered
+            if head_base + self._urgent_window
+            <= index
+            < head_base + self._urgent_window + self._lookahead
+        ]
+        tail = [
+            index
+            for index in ordered
+            if index >= head_base + self._urgent_window + self._lookahead
+        ]
+        counts = _holder_counts(window, availability)
+        shuffled = list(window)
+        rng.shuffle(shuffled)
+        window_sorted = sorted(
+            shuffled, key=lambda index: counts[index]
+        )
+        return head + window_sorted + tail
+
+
+def _holder_counts(
+    indices: list[int], availability: dict[str, set[int]]
+) -> dict[int, int]:
+    counts = {index: 0 for index in indices}
+    for held in availability.values():
+        for index in indices:
+            if index in held:
+                counts[index] += 1
+    return counts

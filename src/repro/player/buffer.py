@@ -1,0 +1,107 @@
+"""Playback buffer: which segments have arrived, and how much playtime
+is contiguously available ahead of the playhead."""
+
+from __future__ import annotations
+
+from ..errors import PlaybackError
+
+
+class PlaybackBuffer:
+    """Tracks downloaded segments for a fixed segment layout.
+
+    Args:
+        segment_durations: playback duration of every segment, in
+            order.  (Known from the manifest before any data arrives.)
+    """
+
+    def __init__(self, segment_durations: list[float]) -> None:
+        if not segment_durations:
+            raise PlaybackError("segment_durations must be non-empty")
+        if any(d <= 0 for d in segment_durations):
+            raise PlaybackError("segment durations must be positive")
+        self._durations = list(segment_durations)
+        self._present: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    @property
+    def segment_count(self) -> int:
+        """Total number of segments in the video."""
+        return len(self._durations)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every segment has arrived."""
+        return len(self._present) == len(self._durations)
+
+    def duration_of(self, index: int) -> float:
+        """Playback duration of segment ``index``."""
+        self._check_index(index)
+        return self._durations[index]
+
+    def has(self, index: int) -> bool:
+        """Whether segment ``index`` has arrived."""
+        self._check_index(index)
+        return index in self._present
+
+    def add(self, index: int) -> None:
+        """Record the arrival of segment ``index``.
+
+        Raises:
+            PlaybackError: if the segment was already added (duplicate
+                downloads indicate a scheduling bug).
+        """
+        self._check_index(index)
+        if index in self._present:
+            raise PlaybackError(f"segment {index} buffered twice")
+        self._present.add(index)
+
+    def contiguous_through(self, start: int) -> int:
+        """Index one past the last contiguous segment from ``start``.
+
+        ``contiguous_through(3) == 7`` means segments 3..6 are all
+        buffered and segment 7 is missing (or past the end).
+        """
+        self._check_index(start)
+        index = start
+        while index < len(self._durations) and index in self._present:
+            index += 1
+        return index
+
+    def buffered_playtime(self, from_index: int, offset: float = 0.0) -> float:
+        """Seconds of contiguous video buffered ahead of the playhead.
+
+        This is ``T`` in the paper's Equation 1.
+
+        Args:
+            from_index: the segment currently at the playhead (or, when
+                it has not arrived yet, the next segment needed).
+            offset: seconds of ``from_index`` already played.
+
+        Returns:
+            Total remaining playtime of the contiguous buffered run
+            starting at ``from_index``, minus ``offset``.  Zero when
+            ``from_index`` itself is missing.
+        """
+        self._check_index(from_index)
+        if offset < 0:
+            raise PlaybackError(f"offset must be >= 0, got {offset}")
+        end = self.contiguous_through(from_index)
+        total = sum(self._durations[from_index:end])
+        return max(0.0, total - offset)
+
+    def missing(self) -> list[int]:
+        """Indices of segments not yet buffered, ascending."""
+        return [
+            index
+            for index in range(len(self._durations))
+            if index not in self._present
+        ]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._durations):
+            raise PlaybackError(
+                f"segment index {index} out of range "
+                f"[0, {len(self._durations)})"
+            )

@@ -1,0 +1,178 @@
+"""The player state machine.
+
+Consumes buffered segments sequentially in simulated real time and
+records the paper's observables: startup time, stall count, and total
+stall duration.  Playback starts as soon as the first segment arrives
+(the paper's application has no additional pre-roll buffer), stalls
+when the playhead reaches a gap, and resumes the moment the missing
+segment lands.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..errors import PlaybackError
+from ..net.engine import EventHandle, Simulator
+from .buffer import PlaybackBuffer
+from .metrics import StallEvent, StreamingMetrics
+
+
+class PlayerState(enum.Enum):
+    """Lifecycle states of a streaming player."""
+
+    WAITING = "waiting"  # joined, first segment not yet available
+    PLAYING = "playing"
+    STALLED = "stalled"
+    FINISHED = "finished"
+
+
+class Player:
+    """Sequential playback over a :class:`PlaybackBuffer`.
+
+    Args:
+        sim: the simulator supplying the clock.
+        segment_durations: per-segment playback durations (manifest).
+        on_state_change: optional hook called with (old, new) state on
+            every transition — the leecher uses it to re-evaluate its
+            download pool when a stall begins or ends.
+        metrics: optional pre-existing metrics object to record into;
+            lets the session owner date ``session_start`` at join time
+            (before the manifest exchange) rather than at player
+            construction.
+        preroll_segments: contiguous segments required before playback
+            begins.  The paper's client starts on the first segment
+            (the default, 1); HLS players typically pre-roll 3.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        segment_durations: list[float],
+        on_state_change: (
+            Callable[[PlayerState, PlayerState], None] | None
+        ) = None,
+        metrics: StreamingMetrics | None = None,
+        preroll_segments: int = 1,
+    ) -> None:
+        if preroll_segments < 1:
+            raise PlaybackError(
+                f"preroll_segments must be >= 1, got {preroll_segments}"
+            )
+        self._sim = sim
+        self._buffer = PlaybackBuffer(segment_durations)
+        self._preroll = min(preroll_segments, len(segment_durations))
+        self._on_state_change = on_state_change
+        self._state = PlayerState.WAITING
+        self._metrics = (
+            metrics
+            if metrics is not None
+            else StreamingMetrics(session_start=sim.now)
+        )
+        self._current: int | None = None  # segment at the playhead
+        self._segment_started_at = 0.0
+        self._boundary_event: EventHandle | None = None
+        self._stall_started_at: float | None = None
+        self._waiting_for = 0
+
+    @property
+    def state(self) -> PlayerState:
+        """Current player state."""
+        return self._state
+
+    @property
+    def buffer(self) -> PlaybackBuffer:
+        """The underlying playback buffer."""
+        return self._buffer
+
+    @property
+    def metrics(self) -> StreamingMetrics:
+        """Metrics collected so far (live object)."""
+        return self._metrics
+
+    @property
+    def next_needed(self) -> int | None:
+        """The next segment index playback needs, or None when done."""
+        if self._state is PlayerState.FINISHED:
+            return None
+        if self._state is PlayerState.PLAYING:
+            assert self._current is not None
+            return self._buffer.contiguous_through(self._current)
+        return self._waiting_for
+
+    def segment_available(self, index: int) -> None:
+        """Notify the player that segment ``index`` has arrived."""
+        self._buffer.add(index)
+        if (
+            self._state is PlayerState.WAITING
+            and self._buffer.contiguous_through(0) >= self._preroll
+        ):
+            self._metrics.playback_start = self._sim.now
+            self._start_segment(0)
+        elif self._state is PlayerState.STALLED and index == self._waiting_for:
+            assert self._stall_started_at is not None
+            self._metrics.stalls.append(
+                StallEvent(
+                    start=self._stall_started_at,
+                    end=self._sim.now,
+                    next_segment=index,
+                )
+            )
+            self._stall_started_at = None
+            self._start_segment(index)
+
+    def buffered_playtime(self) -> float:
+        """Seconds of contiguous video ahead of the playhead — Eq. 1's ``T``.
+
+        Zero while waiting for the first segment, stalled, or finished.
+        """
+        if self._state is not PlayerState.PLAYING:
+            return 0.0
+        assert self._current is not None
+        offset = self._sim.now - self._segment_started_at
+        return self._buffer.buffered_playtime(self._current, offset)
+
+    def position(self) -> float:
+        """Current playback position in seconds of video content."""
+        played = 0.0
+        upto = self._current if self._current is not None else 0
+        for index in range(upto):
+            played += self._buffer.duration_of(index)
+        if self._state is PlayerState.PLAYING:
+            played += self._sim.now - self._segment_started_at
+        elif self._state is PlayerState.FINISHED and self._current is not None:
+            played += self._buffer.duration_of(self._current)
+        return played
+
+    # ------------------------------------------------------------------
+
+    def _start_segment(self, index: int) -> None:
+        self._current = index
+        self._segment_started_at = self._sim.now
+        self._boundary_event = self._sim.schedule(
+            self._buffer.duration_of(index), self._on_segment_end, index
+        )
+        self._transition(PlayerState.PLAYING)
+
+    def _on_segment_end(self, index: int) -> None:
+        self._boundary_event = None
+        nxt = index + 1
+        if nxt >= self._buffer.segment_count:
+            self._metrics.playback_end = self._sim.now
+            self._transition(PlayerState.FINISHED)
+        elif self._buffer.has(nxt):
+            self._start_segment(nxt)
+        else:
+            self._waiting_for = nxt
+            self._stall_started_at = self._sim.now
+            self._transition(PlayerState.STALLED)
+
+    def _transition(self, new_state: PlayerState) -> None:
+        if self._state is PlayerState.FINISHED and new_state is not (
+            PlayerState.FINISHED
+        ):
+            raise PlaybackError("player cannot leave FINISHED")
+        old, self._state = self._state, new_state
+        if old is not new_state and self._on_state_change is not None:
+            self._on_state_change(old, new_state)

@@ -1,0 +1,158 @@
+"""Deploying an RSpec onto the simulator.
+
+GENI gave the paper a slice of real VMs; our substitute "rack"
+instantiates the slice inside the discrete-event simulator: every
+RSpec node becomes a topology node with the link's shaped capacity,
+latency, and loss, and the application install/execute services are
+tracked so a deployment can report what still needs manual setup (the
+paper had to hand-install the VNC/Unity stack on every node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RSpecError
+from ..net.topology import StarTopology
+from ..p2p.swarm import SwarmConfig
+from .rspec import RSpecDocument, RSpecLink
+
+
+@dataclass(frozen=True, slots=True)
+class DeployedNode:
+    """One provisioned VM in the simulated slice."""
+
+    client_id: str
+    bandwidth: float  # bytes/second
+    latency_to_hub: float  # seconds
+    loss_rate: float
+    installed: tuple[str, ...] = field(default_factory=tuple)
+    pending_manual: tuple[str, ...] = field(default_factory=tuple)
+    boot_commands: tuple[str, ...] = field(default_factory=tuple)
+
+
+class InstaGeniRack:
+    """A simulated InstaGENI rack that instantiates request RSpecs.
+
+    Args:
+        hub_name: which node of the document is the star's hub; it is
+            provisioned but carries no application.
+    """
+
+    def __init__(self, hub_name: str = "switch") -> None:
+        self._hub_name = hub_name
+
+    @property
+    def hub_name(self) -> str:
+        """The designated hub node name."""
+        return self._hub_name
+
+    def deploy(self, document: RSpecDocument) -> list[DeployedNode]:
+        """Provision every non-hub node of the slice.
+
+        Returns:
+            The deployed nodes with their link parameters and software
+            state.
+
+        Raises:
+            RSpecError: if the document is not a star around the hub
+                (a node with zero or multiple access links).
+        """
+        deployed: list[DeployedNode] = []
+        for node in document.nodes:
+            if node.client_id == self._hub_name:
+                continue
+            link = self._access_link(document, node.client_id)
+            deployed.append(
+                DeployedNode(
+                    client_id=node.client_id,
+                    bandwidth=link.capacity_bytes_per_s,
+                    latency_to_hub=link.latency_seconds,
+                    loss_rate=link.packet_loss,
+                    installed=tuple(
+                        install.url
+                        for install in node.installs
+                        if not install.manual
+                    ),
+                    pending_manual=tuple(
+                        install.url
+                        for install in node.installs
+                        if install.manual
+                    ),
+                    boot_commands=node.execute,
+                )
+            )
+        if not deployed:
+            raise RSpecError("document contains no non-hub nodes")
+        return deployed
+
+    def build_topology(self, document: RSpecDocument) -> StarTopology:
+        """Instantiate the slice's star topology in the simulator."""
+        topology = StarTopology()
+        for node in self.deploy(document):
+            topology.add_node(
+                node.client_id,
+                bandwidth=node.bandwidth,
+                latency_to_hub=node.latency_to_hub,
+                loss_rate=node.loss_rate,
+            )
+        return topology
+
+    def _access_link(
+        self, document: RSpecDocument, client_id: str
+    ) -> RSpecLink:
+        links = [
+            link
+            for link in document.links_of(client_id)
+            if self._hub_name in link.endpoints
+        ]
+        if len(links) != 1:
+            raise RSpecError(
+                f"node {client_id!r} must have exactly one link to the "
+                f"hub {self._hub_name!r}, found {len(links)}"
+            )
+        return links[0]
+
+
+def swarm_config_from_rspec(
+    document: RSpecDocument,
+    seeder_name: str = "seeder",
+    hub_name: str = "switch",
+    **overrides: object,
+) -> SwarmConfig:
+    """Derive a :class:`SwarmConfig` from a request RSpec.
+
+    Bandwidth, latency, and loss come from the document's access
+    links; everything else (policy, seeds, ...) can be overridden via
+    keyword arguments.
+
+    Raises:
+        RSpecError: if the document lacks the seeder or peers, or if
+            peer access links disagree on capacity (the paper shapes
+            all peers identically per run).
+    """
+    rack = InstaGeniRack(hub_name=hub_name)
+    deployed = {node.client_id: node for node in rack.deploy(document)}
+    if seeder_name not in deployed:
+        raise RSpecError(f"document has no seeder node {seeder_name!r}")
+    peers = [
+        node for name, node in deployed.items() if name != seeder_name
+    ]
+    if not peers:
+        raise RSpecError("document has no peer nodes")
+    bandwidths = {node.bandwidth for node in peers}
+    if len(bandwidths) != 1:
+        raise RSpecError(
+            f"peer access links disagree on capacity: {sorted(bandwidths)}"
+        )
+    peer = peers[0]
+    seeder = deployed[seeder_name]
+    kwargs: dict[str, object] = {
+        "bandwidth": peer.bandwidth,
+        "seeder_bandwidth": seeder.bandwidth,
+        "n_leechers": len(peers),
+        "peer_rtt": 4.0 * peer.latency_to_hub,
+        "path_loss": 1.0 - (1.0 - peer.loss_rate) ** 2,
+    }
+    kwargs.update(overrides)
+    return SwarmConfig(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,49 @@
+"""Synthetic MPEG-4 video substrate.
+
+The paper splices a real 2-minute, 1 Mbps MPEG-4 video with
+Xuggler/FFmpeg.  We have no codec here, so this package models exactly
+the properties splicing depends on:
+
+* a stream is a sequence of **closed GOPs**;
+* every GOP starts with an **I-frame** followed by P and B frames;
+* I-frames are several times larger than P/B frames;
+* GOP *length varies with scene content* — stationary scenes produce
+  long GOPs, action scenes produce short ones (the paper's stated cause
+  of GOP-splicing stalls).
+
+Public entry points:
+
+* :class:`~repro.video.encoder.EncoderConfig` /
+  :class:`~repro.video.encoder.SyntheticEncoder` — produce a
+  :class:`~repro.video.bitstream.Bitstream` from a scene plan;
+* :func:`~repro.video.scene.generate_scene_plan` — content model;
+* :mod:`~repro.video.container` — byte-level serialization.
+"""
+
+from .analysis import BitrateProfile, bitrate_profile, sustainable_bandwidth
+from .bitstream import Bitstream, BitstreamStats
+from .container import deserialize_bitstream, serialize_bitstream
+from .encoder import EncoderConfig, SyntheticEncoder, encode_paper_video
+from .frames import Frame, FrameType
+from .gop import Gop
+from .scene import Scene, SceneKind, ScenePlan, generate_scene_plan
+
+__all__ = [
+    "BitrateProfile",
+    "Bitstream",
+    "BitstreamStats",
+    "bitrate_profile",
+    "sustainable_bandwidth",
+    "EncoderConfig",
+    "Frame",
+    "FrameType",
+    "Gop",
+    "Scene",
+    "SceneKind",
+    "ScenePlan",
+    "SyntheticEncoder",
+    "deserialize_bitstream",
+    "encode_paper_video",
+    "generate_scene_plan",
+    "serialize_bitstream",
+]

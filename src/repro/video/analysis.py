@@ -1,0 +1,104 @@
+"""Bitrate analysis of encoded streams.
+
+The GOP-splicing results hinge on the video's *local* bitrate profile
+(action runs above nominal, calm stretches below).  These helpers
+expose that profile so experiments and tests can reason about it
+directly instead of inferring it from stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+
+
+@dataclass(frozen=True, slots=True)
+class BitrateProfile:
+    """The stream's bitrate over time, in fixed windows.
+
+    Attributes:
+        window: window length in seconds.
+        rates: mean bitrate (bits/second) of each consecutive window.
+    """
+
+    window: float
+    rates: tuple[float, ...]
+
+    @property
+    def peak(self) -> float:
+        """Highest windowed bitrate, bits/second."""
+        return max(self.rates)
+
+    @property
+    def trough(self) -> float:
+        """Lowest windowed bitrate, bits/second."""
+        return min(self.rates)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the windowed bitrates, bits/second."""
+        return sum(self.rates) / len(self.rates)
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Burstiness: peak divided by mean."""
+        return self.peak / self.mean if self.mean else 0.0
+
+
+def bitrate_profile(stream: Bitstream, window: float = 1.0) -> BitrateProfile:
+    """Compute the windowed bitrate profile of a stream.
+
+    Frames are binned by presentation time; partial trailing windows
+    are scaled by their actual length.
+
+    Args:
+        stream: the encoded stream.
+        window: bin length in seconds (> 0).
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    duration = stream.duration
+    n_windows = max(1, int(duration / window + 0.5))
+    bits = [0.0] * n_windows
+    for frame in stream.frames():
+        index = min(n_windows - 1, int(frame.pts / window))
+        bits[index] += frame.size * 8
+    rates = []
+    for index, window_bits in enumerate(bits):
+        start = index * window
+        length = min(window, duration - start)
+        rates.append(window_bits / max(length, 1e-9))
+    return BitrateProfile(window=window, rates=tuple(rates))
+
+
+def sustainable_bandwidth(
+    stream: Bitstream, startup_buffer: float = 0.0
+) -> float:
+    """Minimum constant bandwidth that plays the stream without stalls.
+
+    Classic offline VBR analysis: scanning cumulative bytes against
+    cumulative playtime, the binding constraint is the prefix with the
+    highest byte-to-time ratio (after crediting ``startup_buffer``
+    seconds of pre-roll).
+
+    Args:
+        stream: the encoded stream.
+        startup_buffer: seconds of video buffered before playback
+            starts.
+
+    Returns:
+        Required bandwidth in **bytes/second**.
+    """
+    if startup_buffer < 0:
+        raise ConfigurationError(
+            f"startup_buffer must be >= 0, got {startup_buffer}"
+        )
+    cumulative_bytes = 0.0
+    worst = 0.0
+    for frame in stream.frames():
+        cumulative_bytes += frame.size
+        deadline = frame.end_pts + startup_buffer
+        worst = max(worst, cumulative_bytes / max(deadline, 1e-9))
+    return worst

@@ -1,0 +1,143 @@
+"""Bitstream: a validated sequence of closed GOPs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import BitstreamError
+from .frames import Frame, FrameType
+from .gop import Gop
+
+
+@dataclass(frozen=True, slots=True)
+class BitstreamStats:
+    """Summary statistics of a bitstream (useful in reports and tests).
+
+    Attributes:
+        duration: total playback duration, seconds.
+        size: total encoded size, bytes.
+        bitrate: average rate, bits per second.
+        frame_count: total number of frames.
+        gop_count: number of GOPs.
+        gop_duration_min/mean/max: GOP playback durations, seconds.
+        gop_size_min/mean/max: GOP sizes, bytes.
+        gop_duration_stdev: population stdev of GOP durations (0 when a
+            single GOP).
+        i_frame_mean_size / p_frame_mean_size / b_frame_mean_size:
+            average frame size per type in bytes (0 if no such frames).
+    """
+
+    duration: float
+    size: int
+    bitrate: float
+    frame_count: int
+    gop_count: int
+    gop_duration_min: float
+    gop_duration_mean: float
+    gop_duration_max: float
+    gop_duration_stdev: float
+    gop_size_min: int
+    gop_size_mean: float
+    gop_size_max: int
+    i_frame_mean_size: float
+    p_frame_mean_size: float
+    b_frame_mean_size: float
+
+
+class Bitstream:
+    """An encoded video: an ordered sequence of closed GOPs.
+
+    The stream is validated on construction: GOPs must abut in
+    presentation time and frame indices must be contiguous from 0.
+    """
+
+    def __init__(self, gops: tuple[Gop, ...] | list[Gop]) -> None:
+        gops = tuple(gops)
+        if not gops:
+            raise BitstreamError("a bitstream must contain at least one GOP")
+        expected_pts = 0.0
+        expected_index = 0
+        for gop in gops:
+            if abs(gop.start_pts - expected_pts) > 1e-6:
+                raise BitstreamError(
+                    f"GOP at pts {gop.start_pts} does not abut previous GOP "
+                    f"ending at {expected_pts}"
+                )
+            for frame in gop.frames:
+                if frame.index != expected_index:
+                    raise BitstreamError(
+                        f"frame indices must be contiguous; expected "
+                        f"{expected_index}, got {frame.index}"
+                    )
+                expected_index += 1
+            expected_pts = gop.end_pts
+        self._gops = gops
+
+    @property
+    def gops(self) -> tuple[Gop, ...]:
+        """The stream's GOPs in order."""
+        return self._gops
+
+    def __len__(self) -> int:
+        return len(self._gops)
+
+    def __iter__(self) -> Iterator[Gop]:
+        return iter(self._gops)
+
+    def frames(self) -> Iterator[Frame]:
+        """Iterate over every frame in presentation order."""
+        for gop in self._gops:
+            yield from gop.frames
+
+    @property
+    def frame_count(self) -> int:
+        """Total number of frames."""
+        return sum(len(gop) for gop in self._gops)
+
+    @property
+    def duration(self) -> float:
+        """Total playback duration in seconds."""
+        return self._gops[-1].end_pts
+
+    @property
+    def size(self) -> int:
+        """Total encoded size in bytes."""
+        return sum(gop.size for gop in self._gops)
+
+    @property
+    def bitrate(self) -> float:
+        """Average bitrate in bits per second."""
+        return self.size * 8 / self.duration
+
+    def stats(self) -> BitstreamStats:
+        """Compute summary statistics for the stream."""
+        durations = [gop.duration for gop in self._gops]
+        sizes = [gop.size for gop in self._gops]
+        by_type: dict[FrameType, list[int]] = {t: [] for t in FrameType}
+        for frame in self.frames():
+            by_type[frame.frame_type].append(frame.size)
+
+        def mean_or_zero(values: list[int]) -> float:
+            return statistics.fmean(values) if values else 0.0
+
+        return BitstreamStats(
+            duration=self.duration,
+            size=self.size,
+            bitrate=self.bitrate,
+            frame_count=self.frame_count,
+            gop_count=len(self._gops),
+            gop_duration_min=min(durations),
+            gop_duration_mean=statistics.fmean(durations),
+            gop_duration_max=max(durations),
+            gop_duration_stdev=(
+                statistics.pstdev(durations) if len(durations) > 1 else 0.0
+            ),
+            gop_size_min=min(sizes),
+            gop_size_mean=statistics.fmean(sizes),
+            gop_size_max=max(sizes),
+            i_frame_mean_size=mean_or_zero(by_type[FrameType.I]),
+            p_frame_mean_size=mean_or_zero(by_type[FrameType.P]),
+            b_frame_mean_size=mean_or_zero(by_type[FrameType.B]),
+        )

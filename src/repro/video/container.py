@@ -1,0 +1,122 @@
+"""Byte-level container for synthetic bitstreams.
+
+A minimal MP4-like container: a fixed magic, a frame table, and
+(optionally) the frame payloads.  Payload bytes are synthetic (zeros),
+but their *lengths* are exact, so a serialized stream occupies the same
+number of bytes a real stream of that encoding would — which is all the
+transport layer cares about.
+
+Wire layout (big-endian)::
+
+    magic    : 4 bytes  b"RPV1"
+    nframes  : u32
+    frame[i] : type(1 byte: 'I'/'P'/'B') | size(u32) | duration_us(u32)
+    payload  : size bytes per frame, iff include_payload
+
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import BitstreamError
+from .bitstream import Bitstream
+from .frames import Frame, FrameType
+from .gop import Gop
+
+MAGIC = b"RPV1"
+_HEADER = struct.Struct(">4sI")
+_FRAME = struct.Struct(">cII")
+
+
+def serialize_bitstream(
+    stream: Bitstream, include_payload: bool = False
+) -> bytes:
+    """Serialize a bitstream to container bytes.
+
+    Args:
+        stream: the bitstream to serialize.
+        include_payload: when True, append ``frame.size`` zero bytes per
+            frame so the output is byte-for-byte the size a real file
+            would be (plus the frame-table overhead).
+
+    Returns:
+        The serialized container.
+    """
+    parts = [_HEADER.pack(MAGIC, stream.frame_count)]
+    for frame in stream.frames():
+        duration_us = round(frame.duration * 1_000_000)
+        parts.append(
+            _FRAME.pack(
+                frame.frame_type.value.encode("ascii"),
+                frame.size,
+                duration_us,
+            )
+        )
+    if include_payload:
+        for frame in stream.frames():
+            parts.append(b"\x00" * frame.size)
+    return b"".join(parts)
+
+
+def deserialize_bitstream(data: bytes) -> Bitstream:
+    """Parse container bytes back into a :class:`Bitstream`.
+
+    Only the frame table is read; any payload bytes after it are
+    ignored (their length is implied by the table).
+
+    Raises:
+        BitstreamError: if the magic, header, or frame table is
+            malformed.
+    """
+    if len(data) < _HEADER.size:
+        raise BitstreamError("container truncated: missing header")
+    magic, nframes = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise BitstreamError(f"bad container magic {magic!r}")
+    table_end = _HEADER.size + nframes * _FRAME.size
+    if len(data) < table_end:
+        raise BitstreamError(
+            f"container truncated: expected {nframes} frame records"
+        )
+    frames: list[Frame] = []
+    pts = 0.0
+    offset = _HEADER.size
+    for index in range(nframes):
+        type_byte, size, duration_us = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size
+        try:
+            frame_type = FrameType(type_byte.decode("ascii"))
+        except ValueError as exc:
+            raise BitstreamError(
+                f"unknown frame type byte {type_byte!r} at record {index}"
+            ) from exc
+        duration = duration_us / 1_000_000
+        frames.append(
+            Frame(
+                index=index,
+                frame_type=frame_type,
+                size=size,
+                duration=duration,
+                pts=pts,
+            )
+        )
+        pts += duration
+    return Bitstream(tuple(_group_into_gops(frames)))
+
+
+def _group_into_gops(frames: list[Frame]) -> list[Gop]:
+    """Split a frame sequence into closed GOPs at I-frames."""
+    if not frames:
+        raise BitstreamError("container holds no frames")
+    if frames[0].frame_type is not FrameType.I:
+        raise BitstreamError("stream must start with an I-frame")
+    gops: list[Gop] = []
+    current: list[Frame] = []
+    for frame in frames:
+        if frame.frame_type is FrameType.I and current:
+            gops.append(Gop(frames=tuple(current)))
+            current = []
+        current.append(frame)
+    gops.append(Gop(frames=tuple(current)))
+    return gops

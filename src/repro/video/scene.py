@@ -1,0 +1,222 @@
+"""Scene-content model.
+
+GOP boundaries in a real encoder are driven by content: a scene cut
+forces a new I-frame, while a stationary shot lets the GOP run to the
+encoder's maximum keyframe interval.  The paper leans on exactly this
+("if a video contains constantly changing scenery, the duration of the
+GOP will be very short ... a stationary scene ... can be very long").
+
+We model content as an alternating sequence of *scenes*, each either
+``CALM`` (long shots, few cuts) or ``ACTION`` (rapid cuts), produced by
+a two-state Markov chain.  Each scene carries a *complexity* factor
+that scales frame sizes (action frames cost more bits).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+class SceneKind(enum.Enum):
+    """Coarse content class of a scene."""
+
+    CALM = "calm"
+    ACTION = "action"
+
+
+@dataclass(frozen=True, slots=True)
+class Scene:
+    """A contiguous run of shots sharing one content class.
+
+    Attributes:
+        kind: content class.
+        start: scene start time, seconds from stream start.
+        duration: scene length in seconds.
+        cut_times: times (absolute, within ``[start, start+duration)``)
+            at which a shot cut occurs; each cut forces an I-frame.
+        complexity: multiplier on nominal frame sizes (action > calm).
+    """
+
+    kind: SceneKind
+    start: float
+    duration: float
+    cut_times: tuple[float, ...]
+    complexity: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"scene duration must be positive, got {self.duration}"
+            )
+        if self.complexity <= 0:
+            raise ConfigurationError(
+                f"scene complexity must be positive, got {self.complexity}"
+            )
+        end = self.start + self.duration
+        for t in self.cut_times:
+            if not (self.start <= t < end):
+                raise ConfigurationError(
+                    f"cut time {t} outside scene [{self.start}, {end})"
+                )
+
+    @property
+    def end(self) -> float:
+        """Scene end time in seconds."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True, slots=True)
+class ScenePlan:
+    """The full content plan for a video: back-to-back scenes."""
+
+    scenes: tuple[Scene, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        expected_start = 0.0
+        for scene in self.scenes:
+            if abs(scene.start - expected_start) > 1e-9:
+                raise ConfigurationError(
+                    f"scene at {scene.start} does not abut previous scene "
+                    f"ending at {expected_start}"
+                )
+            expected_start = scene.end
+
+    @property
+    def duration(self) -> float:
+        """Total plan duration in seconds."""
+        return self.scenes[-1].end if self.scenes else 0.0
+
+    def scene_at(self, t: float) -> Scene:
+        """Return the scene covering presentation time ``t``."""
+        for scene in self.scenes:
+            if scene.start <= t < scene.end:
+                return scene
+        if self.scenes and abs(t - self.duration) < 1e-9:
+            return self.scenes[-1]
+        raise ConfigurationError(f"time {t} outside plan [0, {self.duration})")
+
+    def all_cut_times(self) -> list[float]:
+        """All shot-cut times across the plan, ascending."""
+        cuts: list[float] = []
+        for scene in self.scenes:
+            cuts.extend(scene.cut_times)
+        return cuts
+
+
+@dataclass(frozen=True, slots=True)
+class SceneModelConfig:
+    """Parameters of the two-state Markov scene generator.
+
+    Defaults are tuned so a 2-minute video mixes multi-second calm
+    shots with sub-second action cuts, giving GOP-based segments the
+    high size variance the paper describes.
+    """
+
+    calm_scene_mean: float = 25.0  # mean calm-scene length, seconds
+    action_scene_mean: float = 6.0  # mean action-scene length, seconds
+    calm_cut_interval_mean: float = 25.0  # mean seconds between cuts, calm
+    action_cut_interval_mean: float = 0.6  # mean seconds between cuts, action
+    calm_complexity: float = 0.85
+    action_complexity: float = 1.35
+    p_start_action: float = 0.4  # probability the video opens on action
+    min_scene_duration: float = 1.0
+    min_cut_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "calm_scene_mean",
+            "action_scene_mean",
+            "calm_cut_interval_mean",
+            "action_cut_interval_mean",
+            "calm_complexity",
+            "action_complexity",
+            "min_scene_duration",
+            "min_cut_interval",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0.0 <= self.p_start_action <= 1.0:
+            raise ConfigurationError("p_start_action must be in [0, 1]")
+
+
+def generate_scene_plan(
+    duration: float,
+    rng: random.Random,
+    config: SceneModelConfig | None = None,
+) -> ScenePlan:
+    """Generate a random scene plan covering ``duration`` seconds.
+
+    Scenes strictly alternate between CALM and ACTION; lengths and shot
+    cuts are exponentially distributed around the configured means.
+
+    Args:
+        duration: total video duration in seconds (> 0).
+        rng: seeded random source; the plan is a pure function of it.
+        config: generator parameters; defaults per :class:`SceneModelConfig`.
+
+    Returns:
+        A :class:`ScenePlan` whose scenes exactly tile ``[0, duration]``.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    cfg = config or SceneModelConfig()
+
+    scenes: list[Scene] = []
+    t = 0.0
+    kind = (
+        SceneKind.ACTION
+        if rng.random() < cfg.p_start_action
+        else SceneKind.CALM
+    )
+    while t < duration - 1e-9:
+        mean = (
+            cfg.calm_scene_mean
+            if kind is SceneKind.CALM
+            else cfg.action_scene_mean
+        )
+        length = max(cfg.min_scene_duration, rng.expovariate(1.0 / mean))
+        length = min(length, duration - t)
+        cut_mean = (
+            cfg.calm_cut_interval_mean
+            if kind is SceneKind.CALM
+            else cfg.action_cut_interval_mean
+        )
+        cuts = _generate_cuts(t, length, cut_mean, cfg.min_cut_interval, rng)
+        complexity = (
+            cfg.calm_complexity
+            if kind is SceneKind.CALM
+            else cfg.action_complexity
+        )
+        scenes.append(
+            Scene(
+                kind=kind,
+                start=t,
+                duration=length,
+                cut_times=tuple(cuts),
+                complexity=complexity,
+            )
+        )
+        t += length
+        kind = SceneKind.ACTION if kind is SceneKind.CALM else SceneKind.CALM
+    return ScenePlan(scenes=tuple(scenes))
+
+
+def _generate_cuts(
+    start: float,
+    length: float,
+    interval_mean: float,
+    min_interval: float,
+    rng: random.Random,
+) -> list[float]:
+    """Poisson-ish shot cuts inside a scene (excluding the scene start)."""
+    cuts: list[float] = []
+    t = start + max(min_interval, rng.expovariate(1.0 / interval_mean))
+    end = start + length
+    while t < end - 1e-9:
+        cuts.append(t)
+        t += max(min_interval, rng.expovariate(1.0 / interval_mean))
+    return cuts

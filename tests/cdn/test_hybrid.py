@@ -1,0 +1,118 @@
+"""Tests for the hybrid CDN mode."""
+
+import pytest
+
+from repro.cdn import HybridConfig, HybridSession, cdn_segment_duration
+from repro.core.splicer import DurationSplicer
+from repro.errors import ConfigurationError
+from repro.p2p.swarm import SwarmConfig
+from repro.units import kB_per_s
+
+
+def swarm_config(**overrides):
+    defaults = dict(
+        bandwidth=kB_per_s(512),
+        seeder_bandwidth=kB_per_s(2048),
+        n_leechers=3,
+        seed=5,
+        join_stagger=1.0,
+        max_time=600.0,
+    )
+    defaults.update(overrides)
+    return SwarmConfig(**defaults)
+
+
+class TestCdnSegmentDuration:
+    def test_picks_largest_admissible(self):
+        # bitrate 1 Mbps = 125 kB/s; B = 200 kB/s, T = 4 s -> limit
+        # 800 kB; 4 s segment = 500 kB fits, 8 s = 1000 kB does not.
+        duration = cdn_segment_duration(
+            1_000_000, kB_per_s(200), target_buffer=4.0
+        )
+        assert duration == 4.0
+
+    def test_all_admissible_picks_max(self):
+        duration = cdn_segment_duration(
+            1_000_000, kB_per_s(1024), target_buffer=8.0
+        )
+        assert duration == 8.0
+
+    def test_none_admissible_falls_back_to_min(self):
+        duration = cdn_segment_duration(
+            10_000_000, kB_per_s(64), target_buffer=1.0
+        )
+        assert duration == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            cdn_segment_duration(0, 1000, 1.0)
+        with pytest.raises(ConfigurationError):
+            cdn_segment_duration(1_000_000, 1000, 1.0, candidates=())
+
+
+class TestHybridSession:
+    def test_forces_one_at_a_time(self, short_video):
+        splice = DurationSplicer(4.0).splice(short_video)
+        session = HybridSession(
+            splice, HybridConfig(swarm=swarm_config())
+        )
+        leecher = session.swarm.leechers[0]
+        assert "seeder" in leecher.config.cdn_sources
+
+    def test_runs_to_completion(self, short_video):
+        splice = DurationSplicer(4.0).splice(short_video)
+        session = HybridSession(
+            splice, HybridConfig(swarm=swarm_config())
+        )
+        result = session.run()
+        assert result.all_finished
+
+    def test_auto_duration_resplices(self, short_video):
+        session = HybridSession(
+            short_video,
+            HybridConfig(
+                swarm=swarm_config(), auto_segment_duration=True
+            ),
+        )
+        assert session.segment_duration > 0
+        assert len(session.splice) >= 1
+
+    def test_auto_duration_requires_bitstream(self, short_video):
+        splice = DurationSplicer(4.0).splice(short_video)
+        with pytest.raises(ConfigurationError):
+            HybridSession(
+                splice,
+                HybridConfig(
+                    swarm=swarm_config(), auto_segment_duration=True
+                ),
+            )
+
+    def test_plain_mode_requires_splice(self, short_video):
+        with pytest.raises(ConfigurationError):
+            HybridSession(
+                short_video, HybridConfig(swarm=swarm_config())
+            )
+
+    def test_invalid_target_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridConfig(swarm=swarm_config(), target_buffer=0)
+
+    def test_at_most_one_inflight_to_cdn(self, short_video):
+        splice = DurationSplicer(2.0).splice(short_video)
+        session = HybridSession(
+            splice, HybridConfig(swarm=swarm_config())
+        )
+        swarm = session.swarm
+
+        def check():
+            for leecher in swarm.leechers:
+                to_cdn = [
+                    s
+                    for s in leecher.inflight.values()
+                    if s == "seeder"
+                ]
+                assert len(to_cdn) <= 1
+
+        for t in (0.5, 1.0, 2.0, 4.0, 8.0):
+            swarm.sim.schedule(t, check)
+        session.run()

@@ -1,0 +1,90 @@
+"""Edge cases across the core layer: degenerate videos and splices."""
+
+import random
+
+import pytest
+
+from repro.core.policy import adaptive_pool_size
+from repro.core.splicer import DurationSplicer, GopSplicer
+from repro.video.bitstream import Bitstream
+from repro.video.encoder import EncoderConfig, SyntheticEncoder
+from repro.video.frames import Frame, FrameType
+from repro.video.gop import Gop
+from repro.video.scene import generate_scene_plan
+
+
+def single_frame_stream(size=10_000):
+    frame = Frame(
+        index=0,
+        frame_type=FrameType.I,
+        size=size,
+        duration=0.04,
+        pts=0.0,
+    )
+    return Bitstream((Gop(frames=(frame,)),))
+
+
+def tiny_stream(duration=1.0, seed=2):
+    rng = random.Random(seed)
+    plan = generate_scene_plan(duration, rng)
+    return SyntheticEncoder(EncoderConfig()).encode(plan, rng)
+
+
+class TestDegenerateVideos:
+    def test_single_frame_gop_splice(self):
+        result = GopSplicer().splice(single_frame_stream())
+        assert len(result) == 1
+        assert result.overhead_bytes == 0
+
+    def test_single_frame_duration_splice(self):
+        result = DurationSplicer(4.0).splice(single_frame_stream())
+        assert len(result) == 1
+        assert not result.segments[0].inserted_i_frame
+
+    def test_duration_longer_than_video(self):
+        stream = tiny_stream(duration=1.0)
+        result = DurationSplicer(60.0).splice(stream)
+        assert len(result) == 1
+        assert result.duration == pytest.approx(stream.duration)
+
+    def test_sub_second_duration_splicing(self):
+        stream = tiny_stream(duration=2.0)
+        result = DurationSplicer(0.2).splice(stream)
+        assert len(result) == 10
+        total = sum(len(s.frames) for s in result.segments)
+        assert total == stream.frame_count
+
+    def test_splice_duration_equal_to_video(self):
+        stream = tiny_stream(duration=2.0)
+        result = DurationSplicer(2.0).splice(stream)
+        assert len(result) == 1
+
+    def test_gop_grouping_larger_than_stream(self):
+        stream = tiny_stream(duration=2.0)
+        result = GopSplicer(gops_per_segment=10_000).splice(stream)
+        assert len(result) == 1
+        assert result.total_size == stream.size
+
+
+class TestEquationOneExtremes:
+    def test_huge_values(self):
+        assert adaptive_pool_size(1e12, 1e6, 1.0) == int(1e18)
+
+    def test_tiny_bandwidth(self):
+        assert adaptive_pool_size(1e-9, 1e-9, 1e9) == 1
+
+    def test_exact_multiple_boundary(self):
+        # B*T/W exactly 3.0 -> floor is 3.
+        assert adaptive_pool_size(300.0, 1.0, 100.0) == 3
+
+    def test_just_below_boundary(self):
+        assert adaptive_pool_size(299.999, 1.0, 100.0) == 2
+
+
+class TestSplicerDeterminism:
+    def test_same_stream_same_splice(self):
+        stream = tiny_stream(duration=3.0)
+        first = DurationSplicer(1.0).splice(stream)
+        second = DurationSplicer(1.0).splice(stream)
+        assert first.segment_sizes() == second.segment_sizes()
+        assert first.overhead_bytes == second.overhead_bytes

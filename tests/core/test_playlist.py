@@ -1,0 +1,101 @@
+"""Tests for HLS playlist generation/parsing."""
+
+import pytest
+
+from repro.core.playlist import (
+    MediaPlaylist,
+    parse_m3u8,
+    write_m3u8,
+)
+from repro.core.splicer import DurationSplicer, GopSplicer
+from repro.errors import SpliceError
+
+
+@pytest.fixture(scope="module")
+def splice(short_video):
+    return DurationSplicer(4.0).splice(short_video)
+
+
+class TestWriteM3u8:
+    def test_header_and_end(self, splice):
+        text = write_m3u8(splice)
+        lines = text.splitlines()
+        assert lines[0] == "#EXTM3U"
+        assert lines[-1] == "#EXT-X-ENDLIST"
+
+    def test_one_extinf_per_segment(self, splice):
+        text = write_m3u8(splice)
+        assert text.count("#EXTINF:") == len(splice)
+
+    def test_target_duration_covers_longest_segment(self, splice):
+        playlist = parse_m3u8(write_m3u8(splice))
+        longest = max(splice.segment_durations())
+        assert playlist.target_duration >= longest
+
+    def test_uri_template(self, splice):
+        text = write_m3u8(splice, uri_template="chunk-{index}.mp4")
+        assert "chunk-0.mp4" in text
+
+    def test_gop_splice_also_serializes(self, short_video):
+        gop = GopSplicer().splice(short_video)
+        playlist = parse_m3u8(write_m3u8(gop))
+        assert len(playlist.entries) == len(gop)
+
+
+class TestParseM3u8:
+    def test_roundtrip_durations(self, splice):
+        playlist = parse_m3u8(write_m3u8(splice))
+        assert len(playlist.entries) == len(splice)
+        for entry, duration in zip(
+            playlist.entries, splice.segment_durations()
+        ):
+            assert entry.duration == pytest.approx(duration, abs=1e-4)
+        assert playlist.total_duration == pytest.approx(
+            splice.duration, abs=1e-2
+        )
+
+    def test_vod_flag(self, splice):
+        assert parse_m3u8(write_m3u8(splice)).ended
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SpliceError):
+            parse_m3u8("#EXT-X-VERSION:3\n")
+
+    def test_missing_target_duration_rejected(self):
+        with pytest.raises(SpliceError):
+            parse_m3u8("#EXTM3U\n#EXTINF:4.0,\nseg.ts\n")
+
+    def test_uri_without_extinf_rejected(self):
+        with pytest.raises(SpliceError):
+            parse_m3u8(
+                "#EXTM3U\n#EXT-X-TARGETDURATION:4\nseg.ts\n"
+            )
+
+    def test_dangling_extinf_rejected(self):
+        with pytest.raises(SpliceError):
+            parse_m3u8(
+                "#EXTM3U\n#EXT-X-TARGETDURATION:4\n#EXTINF:4.0,\n"
+            )
+
+    def test_malformed_duration_rejected(self):
+        with pytest.raises(SpliceError):
+            parse_m3u8(
+                "#EXTM3U\n#EXT-X-TARGETDURATION:4\n"
+                "#EXTINF:abc,\nseg.ts\n"
+            )
+
+    def test_unknown_tags_ignored(self):
+        playlist = parse_m3u8(
+            "#EXTM3U\n#EXT-X-TARGETDURATION:4\n"
+            "#EXT-X-SOMETHING:new\n#EXTINF:4.0,\nseg.ts\n"
+            "#EXT-X-ENDLIST\n"
+        )
+        assert len(playlist.entries) == 1
+
+    def test_media_sequence_parsed(self):
+        playlist = parse_m3u8(
+            "#EXTM3U\n#EXT-X-TARGETDURATION:4\n"
+            "#EXT-X-MEDIA-SEQUENCE:17\n#EXTINF:4.0,\nseg.ts\n"
+        )
+        assert playlist.media_sequence == 17
+        assert not playlist.ended

@@ -1,0 +1,116 @@
+"""Tests for the download-pool policies (Eq. 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    AdaptivePoolPolicy,
+    FixedPoolPolicy,
+    adaptive_pool_size,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEquationOne:
+    def test_paper_example(self):
+        # B = 256 kB/s, T = 8 s, W = 512 kB -> k = 4
+        assert adaptive_pool_size(256_000, 8.0, 512_000) == 4
+
+    def test_floor_semantics(self):
+        assert adaptive_pool_size(100, 9.9, 1000) == 0 or True
+        assert adaptive_pool_size(100, 9.9, 1000) == max(
+            math.floor(100 * 9.9 / 1000), 1
+        )
+
+    def test_zero_buffer_gives_one(self):
+        """At startup / after a stall T = 0 -> download one segment."""
+        assert adaptive_pool_size(1_000_000, 0.0, 500_000) == 1
+
+    def test_small_product_gives_one(self):
+        """B*T < W -> still one segment (the paper's floor-at-1)."""
+        assert adaptive_pool_size(100_000, 1.0, 500_000) == 1
+
+    def test_scales_with_bandwidth(self):
+        assert adaptive_pool_size(
+            512_000, 8.0, 512_000
+        ) == 2 * adaptive_pool_size(256_000, 8.0, 512_000)
+
+    def test_scales_inverse_with_segment_size(self):
+        small = adaptive_pool_size(256_000, 8.0, 256_000)
+        large = adaptive_pool_size(256_000, 8.0, 512_000)
+        assert small == 2 * large
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_pool_size(-1, 1.0, 1000)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_pool_size(1000, -1.0, 1000)
+
+    def test_zero_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_pool_size(1000, 1.0, 0)
+
+    @given(
+        bandwidth=st.floats(min_value=0, max_value=1e9),
+        buffered=st.floats(min_value=0, max_value=1e4),
+        segment=st.floats(min_value=1, max_value=1e9),
+    )
+    def test_property_matches_formula(self, bandwidth, buffered, segment):
+        expected = max(math.floor(bandwidth * buffered / segment), 1)
+        assert adaptive_pool_size(bandwidth, buffered, segment) == expected
+
+    @given(
+        bandwidth=st.floats(min_value=0, max_value=1e9),
+        buffered=st.floats(min_value=0, max_value=1e4),
+        segment=st.floats(min_value=1, max_value=1e9),
+    )
+    def test_property_at_least_one(self, bandwidth, buffered, segment):
+        assert adaptive_pool_size(bandwidth, buffered, segment) >= 1
+
+
+class TestAdaptivePoolPolicy:
+    def test_name(self):
+        assert AdaptivePoolPolicy().name == "adaptive"
+
+    def test_delegates_to_formula(self):
+        policy = AdaptivePoolPolicy()
+        assert policy.pool_size(256_000, 8.0, 512_000) == 4
+
+    def test_cap_applies(self):
+        policy = AdaptivePoolPolicy(max_pool=2)
+        assert policy.pool_size(1_000_000, 100.0, 1_000) == 2
+
+    def test_cap_none_uncapped(self):
+        policy = AdaptivePoolPolicy()
+        assert policy.max_pool is None
+        assert policy.pool_size(1_000_000, 100.0, 1_000) == 100_000
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptivePoolPolicy(max_pool=0)
+
+
+class TestFixedPoolPolicy:
+    def test_name(self):
+        assert FixedPoolPolicy(4).name == "fixed-4"
+
+    def test_constant_regardless_of_inputs(self):
+        policy = FixedPoolPolicy(8)
+        assert policy.pool_size(1, 0.0, 1) == 8
+        assert policy.pool_size(1e9, 1e4, 1) == 8
+
+    def test_size_property(self):
+        assert FixedPoolPolicy(2).size == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPoolPolicy(0)
+
+    def test_validates_inputs_like_adaptive(self):
+        with pytest.raises(ConfigurationError):
+            FixedPoolPolicy(2).pool_size(100, -1.0, 100)

@@ -1,0 +1,142 @@
+"""Tests for segment sizing and the adaptive duration planner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segment_size import (
+    AdaptiveDurationPlanner,
+    max_cdn_segment_size,
+    predicted_download_time,
+)
+from repro.errors import ConfigurationError
+from repro.units import kB_per_s
+
+
+class TestMaxCdnSegmentSize:
+    def test_formula(self):
+        assert max_cdn_segment_size(256_000, 8.0) == pytest.approx(
+            2_048_000
+        )
+
+    def test_zero_buffer(self):
+        assert max_cdn_segment_size(256_000, 0.0) == 0.0
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_cdn_segment_size(-1, 1.0)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_cdn_segment_size(1, -1.0)
+
+    @given(
+        bandwidth=st.floats(min_value=0, max_value=1e9),
+        buffered=st.floats(min_value=0, max_value=1e4),
+    )
+    def test_property_is_product(self, bandwidth, buffered):
+        assert max_cdn_segment_size(bandwidth, buffered) == pytest.approx(
+            bandwidth * buffered
+        )
+
+
+class TestPredictedDownloadTime:
+    def test_includes_handshake(self):
+        lossless = predicted_download_time(
+            1, 1e9, rtt=0.1, loss_rate=0.0
+        )
+        assert lossless >= 0.15  # 1.5 RTT handshake
+
+    def test_loss_inflates_handshake(self):
+        clean = predicted_download_time(1, 1e9, rtt=0.1, loss_rate=0.0)
+        lossy = predicted_download_time(1, 1e9, rtt=0.1, loss_rate=0.5)
+        assert lossy > clean
+
+    def test_large_transfer_is_rate_bound(self):
+        size = 10_000_000
+        time = predicted_download_time(
+            size, 1_000_000, rtt=0.01, loss_rate=0.0
+        )
+        assert time == pytest.approx(size / 1_000_000, rel=0.1)
+
+    def test_mathis_cap_binds_under_loss(self):
+        # High bandwidth but lossy: the Mathis ceiling dominates.
+        capped = predicted_download_time(
+            1_000_000, 1e9, rtt=0.05, loss_rate=0.05
+        )
+        clean = predicted_download_time(
+            1_000_000, 1e9, rtt=0.05, loss_rate=0.0
+        )
+        assert capped > 2 * clean
+
+    def test_monotone_in_size(self):
+        small = predicted_download_time(10_000, 1e6, 0.05, 0.01)
+        large = predicted_download_time(1_000_000, 1e6, 0.05, 0.01)
+        assert large > small
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            predicted_download_time(0, 1e6, 0.05)
+        with pytest.raises(ConfigurationError):
+            predicted_download_time(1, 0, 0.05)
+        with pytest.raises(ConfigurationError):
+            predicted_download_time(1, 1e6, 0)
+        with pytest.raises(ConfigurationError):
+            predicted_download_time(1, 1e6, 0.05, loss_rate=1.0)
+
+    @given(
+        size=st.floats(min_value=1e3, max_value=1e8),
+        bandwidth=st.floats(min_value=1e4, max_value=1e8),
+    )
+    def test_property_at_least_ideal_time(self, size, bandwidth):
+        """No transfer beats size/bandwidth plus the handshake."""
+        time = predicted_download_time(size, bandwidth, 0.05, 0.0)
+        assert time >= size / bandwidth
+
+
+class TestAdaptiveDurationPlanner:
+    def test_picks_long_segments_below_bitrate(self):
+        planner = AdaptiveDurationPlanner(bitrate=950_000.0)
+        choice = planner.pick(kB_per_s(96))
+        assert choice.duration == 8.0
+        assert not choice.sustainable
+
+    def test_picks_moderate_at_the_margin(self):
+        planner = AdaptiveDurationPlanner(bitrate=950_000.0)
+        assert planner.pick(kB_per_s(128)).duration == 4.0
+
+    def test_picks_short_segments_with_headroom(self):
+        planner = AdaptiveDurationPlanner(bitrate=950_000.0)
+        choice = planner.pick(kB_per_s(1024))
+        assert choice.duration == 1.0
+        assert choice.sustainable
+
+    def test_startup_grows_with_duration(self):
+        planner = AdaptiveDurationPlanner(bitrate=950_000.0)
+        choices = planner.evaluate(kB_per_s(256))
+        startups = [choice.startup_time for choice in choices]
+        assert startups == sorted(startups)
+
+    def test_evaluate_covers_all_candidates(self):
+        planner = AdaptiveDurationPlanner(
+            candidate_durations=(2.0, 4.0), bitrate=950_000.0
+        )
+        assert len(planner.evaluate(kB_per_s(256))) == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDurationPlanner(candidate_durations=())
+
+    def test_non_positive_candidate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDurationPlanner(candidate_durations=(0.0,))
+
+    def test_zero_bandwidth_rejected(self):
+        planner = AdaptiveDurationPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.evaluate(0.0)
+
+    def test_sustainable_property_threshold(self):
+        planner = AdaptiveDurationPlanner(bitrate=950_000.0)
+        for choice in planner.evaluate(kB_per_s(1024)):
+            assert choice.sustainable == (choice.utilization >= 1.0)

@@ -1,0 +1,148 @@
+"""Tests for the Segment / SpliceResult model."""
+
+import pytest
+
+from repro.errors import SpliceError
+from repro.core.segments import Segment, SpliceResult
+from repro.video.frames import Frame, FrameType
+
+
+def frames_for(pattern: str, start_index=0, start_pts=0.0):
+    frames = []
+    for offset, letter in enumerate(pattern):
+        frames.append(
+            Frame(
+                index=start_index + offset,
+                frame_type=FrameType(letter),
+                size=9_000 if letter == "I" else 3_000,
+                duration=0.04,
+                pts=start_pts + offset * 0.04,
+            )
+        )
+    return tuple(frames)
+
+
+def make_segment(index=0, pattern="IPP", start_pts=0.0, **kwargs):
+    return Segment(
+        index=index,
+        frames=frames_for(pattern, start_index=0, start_pts=start_pts),
+        **kwargs,
+    )
+
+
+class TestSegmentValidation:
+    def test_valid(self):
+        assert make_segment().size == 15_000
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SpliceError):
+            make_segment(index=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpliceError):
+            Segment(index=0, frames=())
+
+    def test_must_start_with_i_frame(self):
+        with pytest.raises(SpliceError):
+            make_segment(pattern="PPP")
+
+
+class TestSegmentProperties:
+    def test_duration(self):
+        assert make_segment(pattern="IPPP").duration == pytest.approx(0.16)
+
+    def test_start_end_pts(self):
+        segment = make_segment(start_pts=2.0)
+        assert segment.start_pts == pytest.approx(2.0)
+        assert segment.end_pts == pytest.approx(2.12)
+
+    def test_overhead_zero_without_insertion(self):
+        assert make_segment().overhead == 0
+
+    def test_overhead_counts_inserted_i_frame(self):
+        segment = make_segment(
+            inserted_i_frame=True, original_first_frame_size=3_000
+        )
+        assert segment.overhead == 9_000 - 3_000
+
+    def test_original_size_defaults_to_first_frame(self):
+        segment = make_segment()
+        assert segment.original_first_frame_size == 9_000
+
+
+def make_result(n_segments=3, technique="test"):
+    segments = []
+    pts = 0.0
+    for index in range(n_segments):
+        frames = frames_for("IPP", start_pts=pts)
+        segments.append(Segment(index=index, frames=frames))
+        pts = frames[-1].end_pts
+    source = sum(segment.size for segment in segments)
+    return SpliceResult(
+        technique=technique, segments=tuple(segments), source_size=source
+    )
+
+
+class TestSpliceResultValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(SpliceError):
+            SpliceResult(technique="x", segments=(), source_size=0)
+
+    def test_indices_must_be_contiguous(self):
+        good = make_result(2)
+        with pytest.raises(SpliceError):
+            SpliceResult(
+                technique="x",
+                segments=(good.segments[1],),
+                source_size=1,
+            )
+
+    def test_segments_must_abut(self):
+        a = make_segment(index=0, start_pts=0.0)
+        b = make_segment(index=1, start_pts=99.0)
+        with pytest.raises(SpliceError):
+            SpliceResult(technique="x", segments=(a, b), source_size=1)
+
+
+class TestSpliceResultProperties:
+    def test_len(self):
+        assert len(make_result(4)) == 4
+
+    def test_total_size(self):
+        assert make_result(2).total_size == 2 * 15_000
+
+    def test_zero_overhead(self):
+        result = make_result(3)
+        assert result.overhead_bytes == 0
+        assert result.overhead_ratio == 0.0
+
+    def test_overhead_ratio(self):
+        result = make_result(2)
+        inflated = SpliceResult(
+            technique="x",
+            segments=result.segments,
+            source_size=result.total_size - 3_000,
+        )
+        assert inflated.overhead_bytes == 3_000
+        assert inflated.overhead_ratio == pytest.approx(
+            3_000 / (result.total_size - 3_000)
+        )
+
+    def test_zero_source_size_ratio(self):
+        result = SpliceResult(
+            technique="x",
+            segments=make_result(1).segments,
+            source_size=0,
+        )
+        assert result.overhead_ratio == 0.0
+
+    def test_duration(self):
+        assert make_result(2).duration == pytest.approx(0.24)
+
+    def test_segment_sizes_and_durations(self):
+        result = make_result(3)
+        assert result.segment_sizes() == [15_000] * 3
+        assert result.segment_durations() == pytest.approx([0.12] * 3)
+
+    def test_mean_segment_size(self):
+        assert make_result(3).mean_segment_size() == pytest.approx(15_000)

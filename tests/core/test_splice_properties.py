@@ -1,0 +1,72 @@
+"""Property-based splicer validation over random videos.
+
+For arbitrary (seed, duration, technique) combinations, every splicer
+output must pass :func:`repro.core.validate.validate_splice` — the
+strongest end-to-end invariant of the splicing layer.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.splicer import DurationSplicer, GopSplicer
+from repro.core.validate import validate_splice
+from repro.video.encoder import EncoderConfig, SyntheticEncoder
+from repro.video.scene import generate_scene_plan
+
+
+def encode(seed: int, duration: float, open_gop: bool = False):
+    rng = random.Random(seed)
+    plan = generate_scene_plan(duration, rng)
+    config = EncoderConfig(
+        keyframe_interval=75, open_gop=open_gop
+    )
+    return SyntheticEncoder(config).encode(plan, rng)
+
+
+class TestSpliceValidityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**12),
+        duration=st.sampled_from([3.0, 7.0, 11.0]),
+        segment_duration=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    )
+    def test_duration_splices_always_validate(
+        self, seed, duration, segment_duration
+    ):
+        stream = encode(seed, duration)
+        splice = DurationSplicer(segment_duration).splice(stream)
+        report = validate_splice(splice, stream)
+        assert report.valid, report.problems
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**12),
+        duration=st.sampled_from([3.0, 7.0, 11.0]),
+        open_gop=st.booleans(),
+        grouping=st.integers(min_value=1, max_value=4),
+    )
+    def test_gop_splices_always_validate(
+        self, seed, duration, open_gop, grouping
+    ):
+        stream = encode(seed, duration, open_gop=open_gop)
+        splice = GopSplicer(gops_per_segment=grouping).splice(stream)
+        report = validate_splice(splice, stream)
+        assert report.valid, report.problems
+        assert report.overhead_bytes == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**12),
+        segment_duration=st.sampled_from([0.5, 2.0]),
+    )
+    def test_overhead_only_from_inserted_heads(
+        self, seed, segment_duration
+    ):
+        stream = encode(seed, 7.0)
+        splice = DurationSplicer(segment_duration).splice(stream)
+        report = validate_splice(splice, stream)
+        assert report.valid
+        per_segment = sum(s.overhead for s in splice.segments)
+        assert report.overhead_bytes == per_segment

@@ -1,0 +1,97 @@
+"""Smoke tests for the figure reproductions (reduced scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import fig2, fig3, fig4, fig5
+from repro.experiments.ablations import (
+    run_adaptive_splicing,
+    run_churn,
+    run_overhead,
+    run_segment_size_sweep,
+    run_variable_bandwidth,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ExperimentConfig(n_leechers=3, seeds=(5,), max_time=600.0)
+
+
+class TestFigureModules:
+    def test_fig2_series(self, fast_config, short_video):
+        result = fig2.run(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert result.metric == "stall_count"
+        assert set(result.series) == {
+            "gop",
+            "duration-2s",
+            "duration-4s",
+            "duration-8s",
+        }
+
+    def test_fig3_metric(self, fast_config, short_video):
+        result = fig3.run(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert result.metric == "stall_duration"
+
+    def test_fig4_excludes_gop(self, fast_config, short_video):
+        result = fig4.run(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert result.metric == "startup_time"
+        assert all("sec segment" in label for label in result.series)
+
+    def test_fig5_policies(self, fast_config, short_video):
+        result = fig5.run(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert set(result.series) == {
+            "Adaptive pooling",
+            "Pool size: 2",
+            "Pool size: 4",
+            "Pool size: 8",
+        }
+
+
+class TestAblations:
+    def test_overhead_rows(self, short_video):
+        rows = run_overhead(video=short_video)
+        by_name = {row.technique: row for row in rows}
+        assert by_name["gop"].overhead_bytes == 0
+        assert (
+            by_name["duration-1s"].overhead_percent
+            > by_name["duration-8s"].overhead_percent
+        )
+
+    def test_segment_size_sweep(self, fast_config, short_video):
+        result = run_segment_size_sweep(
+            fast_config,
+            video=short_video,
+            bandwidths_kb=(512,),
+            durations=(2.0, 8.0),
+        )
+        assert set(result.series) == {"duration-2s", "duration-8s"}
+
+    def test_churn_ablation(self, fast_config, short_video):
+        result = run_churn(
+            fast_config,
+            video=short_video,
+            bandwidth_kb=512,
+            churn_fractions=(0.0, 0.5),
+        )
+        assert set(result.series) == {"churn 0%", "churn 50%"}
+
+    def test_variable_bandwidth(self, fast_config, short_video):
+        result = run_variable_bandwidth(
+            fast_config, video=short_video, base_kb=512
+        )
+        assert len(result.series) == 4
+
+    def test_adaptive_splicing(self, fast_config, short_video):
+        result = run_adaptive_splicing(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert set(result.series) == {"adaptive duration", "fixed 4s"}

@@ -1,0 +1,65 @@
+"""Smoke tests for the selection, transport, and ABR studies."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.abr_study import AbrStudyRow, format_rows
+from repro.experiments.abr_study import run as run_abr
+from repro.experiments.selection_study import run as run_selection
+from repro.experiments.transport_study import run as run_transport
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ExperimentConfig(n_leechers=3, seeds=(5,), max_time=600.0)
+
+
+class TestSelectionStudy:
+    def test_series_cover_both_selectors(self, fast_config, short_video):
+        result = run_selection(
+            fast_config, video=short_video, bandwidth_kb=512
+        )
+        labels = set(result.series)
+        assert "sequential" in labels
+        assert "sequential +churn" in labels
+        assert any("windowed" in label for label in labels)
+
+
+class TestTransportStudy:
+    def test_both_transports_run(self, fast_config, short_video):
+        result = run_transport(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        assert set(result.series) == {"tcp", "ppspp-udp"}
+        for cells in result.series.values():
+            assert cells[0].finished_fraction == 1.0
+
+
+class TestAbrStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_abr(bandwidths_kb=(128,), duration=24.0, seed=3)
+
+    def test_three_strategies_per_bandwidth(self, rows):
+        assert len(rows) == 3
+        prefixes = {row.strategy.split(" ")[0] for row in rows}
+        assert prefixes == {"abr-buffer", "duration-adaptive", "fixed-top"}
+
+    def test_duration_strategies_keep_top_quality(self, rows):
+        top = max(row.mean_bitrate for row in rows)
+        for row in rows:
+            if not row.strategy.startswith("abr"):
+                assert row.mean_bitrate == top
+
+    def test_rows_are_typed(self, rows):
+        assert all(isinstance(row, AbrStudyRow) for row in rows)
+
+    def test_format_renders_all_rows(self, rows):
+        text = format_rows(rows)
+        assert len(text.splitlines()) == len(rows) + 1
+        assert "quality" in text
+
+    def test_empty_bandwidths_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_abr(bandwidths_kb=())

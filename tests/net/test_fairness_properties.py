@@ -1,0 +1,134 @@
+"""Property-based tests of the max-min fair allocation.
+
+For random link/flow configurations, the allocation must be:
+
+* **feasible** — no link carries more than its capacity;
+* **cap-respecting** — no flow exceeds its rate limit;
+* **non-wasteful (work-conserving)** — every flow is either at its
+  cap or crosses at least one saturated link (nobody could be given
+  more without taking from someone);
+* **deterministic** — re-solving the same configuration gives the
+  same rates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.engine import Simulator
+from repro.net.flownet import FlowNetwork
+from repro.net.link import Link
+
+_EPS = 1e-6
+
+
+@st.composite
+def network_configs(draw):
+    """Random links plus random flows over subsets of them."""
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    capacities = [
+        draw(st.floats(min_value=10.0, max_value=10_000.0))
+        for _ in range(n_links)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for _ in range(n_flows):
+        route = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        limit = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=1.0, max_value=20_000.0),
+            )
+        )
+        flows.append((route, limit))
+    return capacities, flows
+
+
+def solve(capacities, flows):
+    sim = Simulator()
+    network = FlowNetwork(sim)
+    links = [
+        Link(f"l{i}", capacity) for i, capacity in enumerate(capacities)
+    ]
+    flow_objects = []
+    for route_indices, limit in flows:
+        flow_objects.append(
+            network.start_flow(
+                [links[i] for i in route_indices],
+                size=1e12,  # effectively infinite: rates at equilibrium
+                rate_limit=limit,
+            )
+        )
+    return links, flow_objects
+
+
+class TestAllocationProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(config=network_configs())
+    def test_feasible(self, config):
+        capacities, flows = config
+        links, flow_objects = solve(capacities, flows)
+        for link in links:
+            carried = sum(
+                flow.rate
+                for flow in flow_objects
+                if link in flow.route
+            )
+            assert carried <= link.capacity * (1 + _EPS)
+
+    @settings(max_examples=200, deadline=None)
+    @given(config=network_configs())
+    def test_caps_respected(self, config):
+        capacities, flows = config
+        _, flow_objects = solve(capacities, flows)
+        for flow in flow_objects:
+            if flow.rate_limit is not None:
+                assert flow.rate <= flow.rate_limit * (1 + _EPS)
+
+    @settings(max_examples=200, deadline=None)
+    @given(config=network_configs())
+    def test_work_conserving(self, config):
+        capacities, flows = config
+        links, flow_objects = solve(capacities, flows)
+        carried = {
+            link.name: sum(
+                flow.rate
+                for flow in flow_objects
+                if link in flow.route
+            )
+            for link in links
+        }
+        for flow in flow_objects:
+            at_cap = (
+                flow.rate_limit is not None
+                and flow.rate >= flow.rate_limit * (1 - 1e-6)
+            )
+            on_saturated_link = any(
+                carried[link.name] >= link.capacity * (1 - 1e-6)
+                for link in flow.route
+            )
+            assert at_cap or on_saturated_link
+
+    @settings(max_examples=100, deadline=None)
+    @given(config=network_configs())
+    def test_deterministic(self, config):
+        capacities, flows = config
+        _, first = solve(capacities, flows)
+        _, second = solve(capacities, flows)
+        for a, b in zip(first, second):
+            assert a.rate == pytest.approx(b.rate)
+
+    @settings(max_examples=100, deadline=None)
+    @given(config=network_configs())
+    def test_all_flows_get_positive_rate(self, config):
+        capacities, flows = config
+        _, flow_objects = solve(capacities, flows)
+        for flow in flow_objects:
+            assert flow.rate > 0

@@ -1,0 +1,54 @@
+"""Tests for links and path helpers."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.net.link import Link, path_latency, path_loss_rate
+
+
+class TestLinkValidation:
+    def test_valid(self):
+        link = Link("a:up", 128_000, 0.025, 0.02)
+        assert link.capacity == 128_000
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(LinkError):
+            Link("x", 0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(LinkError):
+            Link("x", 1, latency=-0.1)
+
+    def test_loss_of_one_rejected(self):
+        with pytest.raises(LinkError):
+            Link("x", 1, loss_rate=1.0)
+
+    def test_capacity_mutable(self):
+        link = Link("x", 100)
+        link.capacity = 200
+        assert link.capacity == 200
+
+    def test_capacity_set_to_zero_rejected(self):
+        link = Link("x", 100)
+        with pytest.raises(LinkError):
+            link.capacity = 0
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Link("x", 100))
+
+
+class TestPathHelpers:
+    def test_path_latency_sums(self):
+        links = [Link("a", 1, 0.01), Link("b", 1, 0.02)]
+        assert path_latency(links) == pytest.approx(0.03)
+
+    def test_path_loss_compounds(self):
+        links = [Link("a", 1, loss_rate=0.1), Link("b", 1, loss_rate=0.1)]
+        assert path_loss_rate(links) == pytest.approx(0.19)
+
+    def test_lossless_path(self):
+        assert path_loss_rate([Link("a", 1)]) == 0.0
+
+    def test_empty_path(self):
+        assert path_latency([]) == 0.0
+        assert path_loss_rate([]) == 0.0

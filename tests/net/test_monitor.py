@@ -1,0 +1,93 @@
+"""Tests for the link utilization monitor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.engine import Simulator
+from repro.net.flownet import FlowNetwork
+from repro.net.link import Link
+from repro.net.monitor import LinkMonitor
+
+
+def setup(capacity=1000.0):
+    sim = Simulator()
+    network = FlowNetwork(sim)
+    link = Link("l", capacity)
+    return sim, network, link
+
+
+class TestSampling:
+    def test_full_utilization_while_flow_active(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=0.5)
+        monitor.start()
+        network.start_flow([link], 5000.0)  # 5 s at 1000 B/s
+        sim.run(until=4.0)
+        report = monitor.utilization(link)
+        assert report.mean == pytest.approx(1.0)
+        assert report.busy_fraction == pytest.approx(1.0)
+
+    def test_idle_link_reads_zero(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        monitor.start()
+        sim.schedule(3.0, lambda: None)
+        sim.run(until=3.0)
+        report = monitor.utilization(link)
+        assert report.mean == 0.0
+        assert report.busy_fraction == 0.0
+
+    def test_partial_utilization(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        monitor.start()
+        network.start_flow([link], 1e9, rate_limit=250.0)
+        sim.run(until=4.0)
+        assert monitor.utilization(link).mean == pytest.approx(0.25)
+
+    def test_stop_halts_sampling(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        monitor.start()
+        sim.schedule(2.5, monitor.stop)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=10.0)
+        assert monitor.utilization(link).samples == 2
+
+    def test_start_is_idempotent(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        monitor.start()
+        monitor.start()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=2.0)
+        assert monitor.utilization(link).samples == 2
+
+
+class TestValidation:
+    def test_invalid_period_rejected(self):
+        sim, network, link = setup()
+        with pytest.raises(ConfigurationError):
+            LinkMonitor(sim, network, [link], period=0.0)
+
+    def test_empty_links_rejected(self):
+        sim, network, _ = setup()
+        with pytest.raises(ConfigurationError):
+            LinkMonitor(sim, network, [], period=1.0)
+
+    def test_unknown_link_rejected(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.utilization(Link("other", 1.0))
+
+    def test_no_samples_rejected(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.utilization(link)
+
+    def test_report_skips_sampleless_links(self):
+        sim, network, link = setup()
+        monitor = LinkMonitor(sim, network, [link], period=1.0)
+        assert monitor.report() == []

@@ -1,0 +1,94 @@
+"""Tests for transport parameterization (TCP vs PPSPP-style UDP)."""
+
+import pytest
+
+from repro.net.engine import Simulator
+from repro.net.flownet import FlowNetwork
+from repro.net.link import Link
+from repro.net.tcp import TcpParams, ppspp_params, start_tcp_transfer
+
+
+class TestPpsppParams:
+    def test_one_rtt_handshake(self):
+        params = ppspp_params()
+        assert params.handshake_rtts == 1.0
+
+    def test_no_mathis_cap(self):
+        params = ppspp_params()
+        assert params.mathis_cap(0.05, 0.05) is None
+
+    def test_tcp_still_capped(self):
+        assert TcpParams().mathis_cap(0.05, 0.05) is not None
+
+    def test_loss_capped_flag(self):
+        assert TcpParams().loss_capped
+        assert not ppspp_params().loss_capped
+
+
+class TestTransportBehaviour:
+    def _transfer_time(self, params):
+        sim = Simulator()
+        network = FlowNetwork(sim)
+        # Fat but lossy path: the Mathis ceiling (TCP) binds hard.
+        link = Link("l", 10_000_000.0, latency=0.025, loss_rate=0.05)
+        done = []
+        start_tcp_transfer(
+            sim,
+            network,
+            [link],
+            1_000_000.0,
+            params=params,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.run()
+        return done[0]
+
+    def test_udp_beats_tcp_on_lossy_fat_path(self):
+        tcp_time = self._transfer_time(TcpParams())
+        udp_time = self._transfer_time(ppspp_params())
+        assert udp_time < tcp_time / 3
+
+    def test_no_window_floor_for_udp(self):
+        # Many tiny shares: TCP collapses below MSS/RTT, UDP does not.
+        def aggregate_time(params, n_flows=8):
+            sim = Simulator()
+            network = FlowNetwork(sim)
+            link = Link("l", 100_000.0, latency=0.025, loss_rate=0.05)
+            done = []
+            for _ in range(n_flows):
+                start_tcp_transfer(
+                    sim,
+                    network,
+                    [link],
+                    100_000.0,
+                    params=params,
+                    on_complete=lambda t: done.append(sim.now),
+                )
+            sim.run()
+            return max(done)
+
+        tcp_time = aggregate_time(TcpParams())
+        udp_time = aggregate_time(ppspp_params())
+        assert udp_time < tcp_time
+
+    def test_same_behaviour_on_clean_path(self):
+        def time_on_clean(params):
+            sim = Simulator()
+            network = FlowNetwork(sim)
+            link = Link("l", 100_000.0, latency=0.01)
+            done = []
+            start_tcp_transfer(
+                sim,
+                network,
+                [link],
+                200_000.0,
+                params=params,
+                on_complete=lambda t: done.append(sim.now),
+            )
+            sim.run()
+            return done[0]
+
+        tcp_time = time_on_clean(TcpParams())
+        udp_time = time_on_clean(ppspp_params())
+        # Only the handshake differs without loss.
+        assert udp_time == pytest.approx(tcp_time - 0.01, abs=0.02)

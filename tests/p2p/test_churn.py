@@ -1,0 +1,81 @@
+"""Tests for the churn model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.churn import ChurnConfig, ChurnModel
+
+
+class TestChurnConfig:
+    def test_defaults_disable_churn(self):
+        assert ChurnConfig().fraction == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(fraction=1.5)
+
+    def test_invalid_lifetime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(mean_lifetime=0)
+
+    def test_negative_min_lifetime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(min_lifetime=-1)
+
+
+class TestDepartureSampling:
+    def test_zero_fraction_never_departs(self):
+        model = ChurnModel(ChurnConfig(fraction=0.0), random.Random(1))
+        assert all(model.departure_delay() is None for _ in range(100))
+
+    def test_full_fraction_always_departs(self):
+        model = ChurnModel(
+            ChurnConfig(fraction=1.0, mean_lifetime=30.0),
+            random.Random(1),
+        )
+        delays = [model.departure_delay() for _ in range(100)]
+        assert all(delay is not None for delay in delays)
+
+    def test_min_lifetime_respected(self):
+        model = ChurnModel(
+            ChurnConfig(
+                fraction=1.0, mean_lifetime=1.0, min_lifetime=5.0
+            ),
+            random.Random(2),
+        )
+        assert all(
+            model.departure_delay() >= 5.0 for _ in range(200)
+        )
+
+    def test_mean_roughly_matches(self):
+        model = ChurnModel(
+            ChurnConfig(
+                fraction=1.0, mean_lifetime=60.0, min_lifetime=0.0
+            ),
+            random.Random(3),
+        )
+        delays = [model.departure_delay() for _ in range(3000)]
+        mean = sum(delays) / len(delays)
+        assert mean == pytest.approx(60.0, rel=0.15)
+
+    def test_partial_fraction_mixes(self):
+        model = ChurnModel(
+            ChurnConfig(fraction=0.5, mean_lifetime=10.0),
+            random.Random(4),
+        )
+        delays = [model.departure_delay() for _ in range(400)]
+        stayed = sum(1 for d in delays if d is None)
+        assert 100 < stayed < 300
+
+    def test_deterministic_for_seed(self):
+        a = ChurnModel(
+            ChurnConfig(fraction=0.5), random.Random(7)
+        )
+        b = ChurnModel(
+            ChurnConfig(fraction=0.5), random.Random(7)
+        )
+        assert [a.departure_delay() for _ in range(50)] == [
+            b.departure_delay() for _ in range(50)
+        ]

@@ -1,0 +1,115 @@
+"""Edge cases in the P2P layer: degenerate swarms and timing."""
+
+import pytest
+
+from repro.core.splicer import DurationSplicer
+from repro.p2p.swarm import Swarm, SwarmConfig
+from repro.units import kB_per_s
+
+from .helpers import MiniSwarm, make_splice
+
+
+class TestDegenerateSwarms:
+    def test_single_segment_video(self, tiny_video):
+        splice = DurationSplicer(60.0).splice(tiny_video)
+        assert len(splice) == 1
+        config = SwarmConfig(
+            bandwidth=kB_per_s(512),
+            seeder_bandwidth=kB_per_s(1024),
+            n_leechers=2,
+            seed=1,
+            join_stagger=0.5,
+            max_time=300.0,
+        )
+        result = Swarm(splice, config).run()
+        assert result.all_finished
+        for metrics in result.metrics.values():
+            assert metrics.stall_count == 0  # nothing after segment 0
+
+    def test_unfinishable_session_terminates(self, tiny_video):
+        # Bandwidth so low the video cannot complete within max_time;
+        # the simulation must still end cleanly at the cap.
+        splice = DurationSplicer(2.0).splice(tiny_video)
+        config = SwarmConfig(
+            bandwidth=2_000.0,  # 2 kB/s for a ~1 MB video
+            n_leechers=1,
+            seed=1,
+            max_time=60.0,
+        )
+        result = Swarm(splice, config).run()
+        assert result.end_time <= 60.0
+        assert not result.all_finished
+
+    def test_leecher_leaving_before_manifest(self):
+        swarm = MiniSwarm(n_leechers=2)
+        early_leaver = swarm.leechers[0]
+        survivor = swarm.leechers[1]
+        swarm.sim.schedule(0.0, early_leaver.start)
+        swarm.sim.schedule(0.01, early_leaver.leave)  # before reply
+        swarm.sim.schedule(1.0, survivor.start)
+        swarm.run()
+        assert early_leaver.manifest is None
+        assert survivor.player is not None
+        assert survivor.player.buffer.complete
+
+    def test_all_leechers_leave_immediately(self):
+        swarm = MiniSwarm(n_leechers=2)
+        for leecher in swarm.leechers:
+            swarm.sim.schedule(0.0, leecher.start)
+            swarm.sim.schedule(0.5, leecher.leave)
+        swarm.run()  # terminates without error
+        assert all(not l.alive for l in swarm.leechers)
+
+    def test_zero_stagger_flash_crowd_completes(self):
+        swarm = MiniSwarm(n_leechers=4)
+        swarm.start_all(stagger=0.0)
+        swarm.run()
+        for leecher in swarm.leechers:
+            assert leecher.player is not None
+            assert leecher.player.buffer.complete
+
+
+class TestMetricsConsistency:
+    def test_stall_durations_non_negative_and_ordered(self):
+        splice = make_splice(duration=16.0, segment_duration=2.0)
+        swarm = MiniSwarm(splice=splice, n_leechers=3, bandwidth=90_000.0)
+        swarm.start_all(stagger=1.0)
+        swarm.run()
+        for leecher in swarm.leechers:
+            stalls = leecher.metrics.stalls
+            for stall in stalls:
+                assert stall.duration >= 0
+            for earlier, later in zip(stalls, stalls[1:]):
+                assert later.start >= earlier.end
+
+    def test_playback_never_ends_before_it_starts(self):
+        swarm = MiniSwarm(n_leechers=2)
+        swarm.start_all()
+        swarm.run()
+        for leecher in swarm.leechers:
+            metrics = leecher.metrics
+            if metrics.playback_end is not None:
+                assert metrics.playback_start is not None
+                assert metrics.playback_end >= metrics.playback_start
+
+    def test_downloaded_bytes_match_splice_exactly(self):
+        swarm = MiniSwarm(n_leechers=1)
+        swarm.leechers[0].start()
+        swarm.run()
+        assert swarm.leechers[0].metrics.bytes_downloaded == (
+            swarm.splice.total_size
+        )
+
+    def test_uploads_equal_downloads_plus_wire_overhead(self):
+        swarm = MiniSwarm(n_leechers=2)
+        swarm.start_all()
+        swarm.run()
+        downloaded = sum(
+            l.metrics.bytes_downloaded for l in swarm.leechers
+        )
+        uploaded = swarm.seeder.bytes_uploaded + sum(
+            l.bytes_uploaded for l in swarm.leechers
+        )
+        # Uploads count wire bytes (piece headers) on top of payload.
+        assert uploaded >= downloaded
+        assert uploaded < downloaded * 1.01

@@ -1,0 +1,80 @@
+"""Tests for the swarm tracker."""
+
+import random
+
+import pytest
+
+from repro.errors import SwarmError
+from repro.p2p.tracker import Tracker
+
+
+class TestMembership:
+    def test_register_and_contains(self):
+        tracker = Tracker()
+        tracker.register("a")
+        assert "a" in tracker
+        assert len(tracker) == 1
+
+    def test_duplicate_rejected(self):
+        tracker = Tracker()
+        tracker.register("a")
+        with pytest.raises(SwarmError):
+            tracker.register("a")
+
+    def test_unregister(self):
+        tracker = Tracker()
+        tracker.register("a")
+        tracker.unregister("a")
+        assert "a" not in tracker
+
+    def test_unregister_unknown_is_noop(self):
+        Tracker().unregister("ghost")
+
+    def test_join_order_preserved(self):
+        tracker = Tracker()
+        for name in ("c", "a", "b"):
+            tracker.register(name)
+        assert tracker.peer_ids == ["c", "a", "b"]
+
+
+class TestPeersFor:
+    def test_excludes_requester(self):
+        tracker = Tracker()
+        tracker.register("a")
+        tracker.register("b")
+        assert tracker.peers_for("a") == ["b"]
+
+    def test_requester_not_registered(self):
+        tracker = Tracker()
+        tracker.register("a")
+        assert tracker.peers_for("stranger") == ["a"]
+
+    def test_limit(self):
+        tracker = Tracker()
+        for i in range(5):
+            tracker.register(f"p{i}")
+        assert tracker.peers_for("p4", limit=2) == ["p0", "p1"]
+
+
+class TestSample:
+    def test_sample_smaller_than_population(self):
+        tracker = Tracker()
+        for i in range(10):
+            tracker.register(f"p{i}")
+        sample = tracker.sample("p0", 3, random.Random(1))
+        assert len(sample) == 3
+        assert "p0" not in sample
+
+    def test_sample_larger_returns_all(self):
+        tracker = Tracker()
+        tracker.register("a")
+        tracker.register("b")
+        assert sorted(tracker.sample("a", 10, random.Random(1))) == ["b"]
+
+    def test_sample_deterministic_for_seed(self):
+        tracker = Tracker()
+        for i in range(10):
+            tracker.register(f"p{i}")
+        a = tracker.sample("p0", 4, random.Random(9))
+        b = tracker.sample("p0", 4, random.Random(9))
+        assert a == b

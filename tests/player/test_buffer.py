@@ -1,0 +1,103 @@
+"""Tests for the playback buffer."""
+
+import pytest
+
+from repro.errors import PlaybackError
+from repro.player.buffer import PlaybackBuffer
+
+
+@pytest.fixture()
+def buffer():
+    return PlaybackBuffer([4.0, 4.0, 4.0, 2.0])
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(PlaybackError):
+            PlaybackBuffer([])
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(PlaybackError):
+            PlaybackBuffer([4.0, 0.0])
+
+    def test_out_of_range_index(self, buffer):
+        with pytest.raises(PlaybackError):
+            buffer.has(4)
+        with pytest.raises(PlaybackError):
+            buffer.add(-1)
+
+
+class TestAdd:
+    def test_add_and_has(self, buffer):
+        assert not buffer.has(0)
+        buffer.add(0)
+        assert buffer.has(0)
+        assert len(buffer) == 1
+
+    def test_duplicate_add_rejected(self, buffer):
+        buffer.add(1)
+        with pytest.raises(PlaybackError):
+            buffer.add(1)
+
+    def test_complete(self, buffer):
+        for index in range(4):
+            buffer.add(index)
+        assert buffer.complete
+
+    def test_segment_count(self, buffer):
+        assert buffer.segment_count == 4
+
+    def test_duration_of(self, buffer):
+        assert buffer.duration_of(3) == pytest.approx(2.0)
+
+
+class TestContiguity:
+    def test_contiguous_through_stops_at_gap(self, buffer):
+        buffer.add(0)
+        buffer.add(1)
+        buffer.add(3)
+        assert buffer.contiguous_through(0) == 2
+
+    def test_contiguous_through_from_missing(self, buffer):
+        assert buffer.contiguous_through(0) == 0
+
+    def test_contiguous_through_end(self, buffer):
+        for index in range(4):
+            buffer.add(index)
+        assert buffer.contiguous_through(0) == 4
+
+    def test_missing(self, buffer):
+        buffer.add(1)
+        assert buffer.missing() == [0, 2, 3]
+
+
+class TestBufferedPlaytime:
+    def test_zero_when_head_missing(self, buffer):
+        buffer.add(1)
+        assert buffer.buffered_playtime(0) == 0.0
+
+    def test_counts_contiguous_run(self, buffer):
+        buffer.add(0)
+        buffer.add(1)
+        assert buffer.buffered_playtime(0) == pytest.approx(8.0)
+
+    def test_offset_subtracts_played_portion(self, buffer):
+        buffer.add(0)
+        buffer.add(1)
+        assert buffer.buffered_playtime(0, offset=3.0) == pytest.approx(
+            5.0
+        )
+
+    def test_gap_truncates(self, buffer):
+        buffer.add(0)
+        buffer.add(2)
+        assert buffer.buffered_playtime(0) == pytest.approx(4.0)
+
+    def test_negative_offset_rejected(self, buffer):
+        buffer.add(0)
+        with pytest.raises(PlaybackError):
+            buffer.buffered_playtime(0, offset=-1.0)
+
+    def test_never_negative(self, buffer):
+        buffer.add(0)
+        assert buffer.buffered_playtime(0, offset=99.0) == 0.0

@@ -1,0 +1,45 @@
+"""Tests for streaming metrics."""
+
+import pytest
+
+from repro.errors import PlaybackError
+from repro.player.metrics import StallEvent, StreamingMetrics
+
+
+class TestStallEvent:
+    def test_duration(self):
+        stall = StallEvent(start=10.0, end=13.5, next_segment=4)
+        assert stall.duration == pytest.approx(3.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(PlaybackError):
+            StallEvent(start=10.0, end=9.0, next_segment=0)
+
+    def test_zero_length_allowed(self):
+        assert StallEvent(start=1.0, end=1.0, next_segment=0).duration == 0
+
+
+class TestStreamingMetrics:
+    def test_defaults(self):
+        metrics = StreamingMetrics()
+        assert metrics.startup_time is None
+        assert metrics.stall_count == 0
+        assert metrics.total_stall_duration == 0.0
+        assert not metrics.finished
+
+    def test_startup_time(self):
+        metrics = StreamingMetrics(session_start=5.0)
+        metrics.playback_start = 8.5
+        assert metrics.startup_time == pytest.approx(3.5)
+
+    def test_stall_aggregation(self):
+        metrics = StreamingMetrics()
+        metrics.stalls.append(StallEvent(1.0, 2.0, 1))
+        metrics.stalls.append(StallEvent(5.0, 8.0, 2))
+        assert metrics.stall_count == 2
+        assert metrics.total_stall_duration == pytest.approx(4.0)
+
+    def test_finished(self):
+        metrics = StreamingMetrics()
+        metrics.playback_end = 120.0
+        assert metrics.finished

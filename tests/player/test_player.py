@@ -1,0 +1,153 @@
+"""Tests for the player state machine."""
+
+import pytest
+
+from repro.net.engine import Simulator
+from repro.player.metrics import StreamingMetrics
+from repro.player.player import Player, PlayerState
+
+
+def make_player(durations=(4.0, 4.0, 4.0), **kwargs):
+    sim = Simulator()
+    player = Player(sim, list(durations), **kwargs)
+    return sim, player
+
+
+class TestStartup:
+    def test_waits_for_first_segment(self):
+        sim, player = make_player()
+        assert player.state is PlayerState.WAITING
+        assert player.next_needed == 0
+
+    def test_playback_starts_on_segment_zero(self):
+        sim, player = make_player()
+        sim.schedule(2.5, player.segment_available, 0)
+        sim.run(until=2.5)
+        assert player.state is PlayerState.PLAYING
+        assert player.metrics.playback_start == pytest.approx(2.5)
+
+    def test_non_zero_segment_does_not_start_playback(self):
+        sim, player = make_player()
+        sim.schedule(1.0, player.segment_available, 1)
+        sim.run(until=2.0)
+        assert player.state is PlayerState.WAITING
+
+    def test_external_metrics_dates_session(self):
+        sim = Simulator()
+        metrics = StreamingMetrics(session_start=0.0)
+        sim.schedule(3.0, lambda: None)
+        sim.run()  # advance the clock
+        player = Player(sim, [4.0], metrics=metrics)
+        player.segment_available(0)
+        assert metrics.startup_time == pytest.approx(3.0)
+
+
+class TestContinuousPlayback:
+    def test_plays_through_buffered_segments(self):
+        sim, player = make_player()
+        for index in range(3):
+            player.segment_available(index)
+        sim.run()
+        assert player.state is PlayerState.FINISHED
+        assert player.metrics.playback_end == pytest.approx(12.0)
+        assert player.metrics.stall_count == 0
+
+    def test_position_advances_with_clock(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.schedule(1.5, lambda: None)
+        sim.run(until=1.5)
+        assert player.position() == pytest.approx(1.5)
+
+    def test_next_needed_while_playing(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        assert player.next_needed == 1
+
+
+class TestStalls:
+    def test_stall_on_gap(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.run(until=5.0)
+        assert player.state is PlayerState.STALLED
+        assert player.next_needed == 1
+
+    def test_resume_records_stall_event(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.schedule(6.0, player.segment_available, 1)
+        sim.schedule(6.0, player.segment_available, 2)
+        sim.run()
+        assert player.state is PlayerState.FINISHED
+        (stall,) = player.metrics.stalls
+        assert stall.start == pytest.approx(4.0)
+        assert stall.end == pytest.approx(6.0)
+        assert stall.next_segment == 1
+
+    def test_out_of_order_arrival_does_not_resume(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.schedule(5.0, player.segment_available, 2)
+        sim.run(until=6.0)
+        assert player.state is PlayerState.STALLED
+
+    def test_resume_consumes_prebuffered_run(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.schedule(5.0, player.segment_available, 2)
+        sim.schedule(7.0, player.segment_available, 1)
+        sim.run()
+        assert player.state is PlayerState.FINISHED
+        assert player.metrics.stall_count == 1
+
+    def test_multiple_stalls_counted(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.schedule(6.0, player.segment_available, 1)
+        sim.schedule(15.0, player.segment_available, 2)
+        sim.run()
+        assert player.metrics.stall_count == 2
+        assert player.metrics.total_stall_duration == pytest.approx(
+            (6.0 - 4.0) + (15.0 - 10.0)
+        )
+
+
+class TestBufferedPlaytime:
+    def test_zero_while_waiting(self):
+        _, player = make_player()
+        assert player.buffered_playtime() == 0.0
+
+    def test_zero_while_stalled(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        sim.run(until=5.0)
+        assert player.buffered_playtime() == 0.0
+
+    def test_counts_remaining_contiguous_run(self):
+        sim, player = make_player()
+        player.segment_available(0)
+        player.segment_available(1)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=1.0)
+        assert player.buffered_playtime() == pytest.approx(7.0)
+
+
+class TestStateChangeHook:
+    def test_transitions_reported(self):
+        transitions = []
+        sim, player = make_player(
+            on_state_change=lambda old, new: transitions.append(
+                (old.value, new.value)
+            )
+        )
+        player.segment_available(0)
+        sim.schedule(6.0, player.segment_available, 1)
+        sim.schedule(6.0, player.segment_available, 2)
+        sim.run()
+        assert transitions == [
+            ("waiting", "playing"),
+            ("playing", "stalled"),
+            ("stalled", "playing"),
+            ("playing", "finished"),
+        ]

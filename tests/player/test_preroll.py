@@ -1,0 +1,65 @@
+"""Tests for player pre-roll buffering."""
+
+import pytest
+
+from repro.errors import PlaybackError
+from repro.net.engine import Simulator
+from repro.player.player import Player, PlayerState
+
+
+def make_player(preroll, durations=(4.0, 4.0, 4.0, 4.0)):
+    sim = Simulator()
+    return sim, Player(sim, list(durations), preroll_segments=preroll)
+
+
+class TestPreroll:
+    def test_default_starts_on_first_segment(self):
+        sim, player = make_player(preroll=1)
+        player.segment_available(0)
+        assert player.state is PlayerState.PLAYING
+
+    def test_waits_for_contiguous_preroll(self):
+        sim, player = make_player(preroll=3)
+        player.segment_available(0)
+        player.segment_available(1)
+        assert player.state is PlayerState.WAITING
+        player.segment_available(2)
+        assert player.state is PlayerState.PLAYING
+
+    def test_gap_does_not_satisfy_preroll(self):
+        sim, player = make_player(preroll=2)
+        player.segment_available(0)
+        player.segment_available(2)  # gap at 1
+        assert player.state is PlayerState.WAITING
+        player.segment_available(1)
+        assert player.state is PlayerState.PLAYING
+
+    def test_preroll_delays_startup_metric(self):
+        sim, player = make_player(preroll=2)
+        sim.schedule(1.0, player.segment_available, 0)
+        sim.schedule(5.0, player.segment_available, 1)
+        sim.run(until=5.0)
+        assert player.metrics.playback_start == pytest.approx(5.0)
+
+    def test_preroll_reduces_early_stalls(self):
+        # With preroll 2, the player starts with 8 s of buffer and
+        # survives a slow third segment that stalls the preroll-1
+        # player.
+        for preroll, expected_stalls in ((1, 2), (2, 0)):
+            sim, player = make_player(preroll=preroll)
+            sim.schedule(0.0, player.segment_available, 0)
+            sim.schedule(5.0, player.segment_available, 1)
+            sim.schedule(10.0, player.segment_available, 2)
+            sim.schedule(10.0, player.segment_available, 3)
+            sim.run()
+            assert player.metrics.stall_count == expected_stalls, preroll
+
+    def test_preroll_capped_at_segment_count(self):
+        sim, player = make_player(preroll=99, durations=(4.0, 4.0))
+        player.segment_available(0)
+        player.segment_available(1)
+        assert player.state is PlayerState.PLAYING
+
+    def test_invalid_preroll_rejected(self):
+        with pytest.raises(PlaybackError):
+            make_player(preroll=0)

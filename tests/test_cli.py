@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["fig2", "--quick"])
+        assert args.quick
+
+
+class TestCommands:
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "gop" in out
+        assert "duration-8s" in out
+        assert "%" in out
+
+    def test_rspec(self, capsys):
+        assert main(["rspec", "--peers", "2", "--capacity", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "<rspec" in out
+        assert 'capacity="1024"' in out
+
+    def test_timeline(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--peers",
+                    "2",
+                    "--bandwidth",
+                    "512",
+                    "--duration",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "peer-1" in out
+        assert "$" in out  # someone finished
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--bandwidth", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "gop" in out
+        assert "duration-4s" in out
+
+    @pytest.mark.slow
+    def test_quick_figure(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Adaptive pooling" in out
+        assert "128 kB/s" in out

@@ -1,0 +1,108 @@
+"""End-to-end scenarios exercising the paper's qualitative claims.
+
+These are the repository's acceptance tests: each asserts one of the
+orderings the paper reports, at reduced scale so the suite stays fast.
+Exact-scale reproductions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.policy import AdaptivePoolPolicy, FixedPoolPolicy
+from repro.core.splicer import DurationSplicer, GopSplicer
+from repro.p2p.swarm import Swarm, SwarmConfig
+from repro.units import kB_per_s
+from repro.video.encoder import encode_paper_video
+
+
+@pytest.fixture(scope="module")
+def paper_video():
+    return encode_paper_video(seed=1)
+
+
+def run(splice, bandwidth_kb, policy=None, seed=7, n_leechers=19):
+    config = SwarmConfig(
+        bandwidth=kB_per_s(bandwidth_kb),
+        seeder_bandwidth=kB_per_s(8 * bandwidth_kb),
+        n_leechers=n_leechers,
+        seed=seed,
+        policy=policy if policy is not None else AdaptivePoolPolicy(),
+    )
+    return Swarm(splice, config).run()
+
+
+@pytest.mark.slow
+class TestPaperClaims:
+    def test_gop_stalls_most_at_moderate_bandwidth(self, paper_video):
+        gop = run(GopSplicer().splice(paper_video), 256)
+        four = run(DurationSplicer(4.0).splice(paper_video), 256)
+        assert gop.mean_stall_count() > four.mean_stall_count()
+
+    def test_two_second_worse_than_four_at_low_bandwidth(
+        self, paper_video
+    ):
+        two = run(DurationSplicer(2.0).splice(paper_video), 128)
+        four = run(DurationSplicer(4.0).splice(paper_video), 128)
+        assert two.mean_stall_count() > four.mean_stall_count()
+
+    def test_stalls_decrease_with_bandwidth(self, paper_video):
+        splice = DurationSplicer(4.0).splice(paper_video)
+        low = run(splice, 128)
+        high = run(splice, 768)
+        assert high.mean_stall_count() <= low.mean_stall_count()
+
+    def test_startup_grows_with_segment_duration(self, paper_video):
+        results = [
+            run(DurationSplicer(d).splice(paper_video), 128)
+            for d in (2.0, 4.0, 8.0)
+        ]
+        startups = [r.mean_startup_time() for r in results]
+        assert startups == sorted(startups)
+
+    def test_startup_decreases_with_bandwidth(self, paper_video):
+        splice = DurationSplicer(8.0).splice(paper_video)
+        low = run(splice, 128)
+        high = run(splice, 1024)
+        assert high.mean_startup_time() < low.mean_startup_time()
+
+    def test_adaptive_pooling_beats_large_fixed_pool_at_low_bw(
+        self, paper_video
+    ):
+        splice = DurationSplicer(4.0).splice(paper_video)
+        adaptive = run(splice, 128, policy=AdaptivePoolPolicy())
+        fixed8 = run(splice, 128, policy=FixedPoolPolicy(8))
+        # Fig. 5's low-bandwidth story: deep fixed pools overload the
+        # peer's network; Eq. 1 does not.  The damage shows up in
+        # stalls and in startup (the pool delays segment 0).
+        assert (
+            adaptive.mean_stall_count() <= fixed8.mean_stall_count()
+            or adaptive.mean_startup_time() < fixed8.mean_startup_time()
+        )
+        assert adaptive.mean_startup_time() < fixed8.mean_startup_time()
+
+    def test_duration_splicing_moves_more_bytes(self, paper_video):
+        gop = GopSplicer().splice(paper_video)
+        two = DurationSplicer(2.0).splice(paper_video)
+        assert two.total_size > gop.total_size
+
+    def test_most_traffic_is_peer_to_peer(self, paper_video):
+        splice = DurationSplicer(4.0).splice(paper_video)
+        result = run(splice, 512)
+        assert result.peer_bytes_uploaded > result.seeder_bytes_uploaded
+
+
+class TestSmallSwarmEndToEnd:
+    def test_three_peers_stream_everything(self, paper_video):
+        splice = DurationSplicer(8.0).splice(paper_video)
+        result = run(splice, 512, n_leechers=3)
+        assert result.all_finished
+        for metrics in result.metrics.values():
+            assert metrics.bytes_downloaded == pytest.approx(
+                splice.total_size
+            )
+
+    def test_single_peer_is_client_server(self, paper_video):
+        splice = DurationSplicer(8.0).splice(paper_video)
+        result = run(splice, 512, n_leechers=1)
+        assert result.all_finished
+        assert result.peer_bytes_uploaded == 0
+        assert result.seeder_bytes_uploaded >= splice.total_size

@@ -1,0 +1,42 @@
+"""The README's code examples must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_title(self):
+        text = README.read_text(encoding="utf-8")
+        assert text.startswith("# repro")
+        assert "ICDCS 2015" in text
+
+    def test_has_python_examples(self):
+        assert len(python_blocks()) >= 1
+
+    @pytest.mark.slow
+    def test_python_blocks_execute(self, capsys):
+        for block in python_blocks():
+            exec(compile(block, "<README>", "exec"), {})
+        # The quickstart block prints the three observables.
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_mentioned_files_exist(self):
+        root = README.parent
+        for name in (
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/API.md",
+            "examples/quickstart.py",
+            "benchmarks",
+        ):
+            assert (root / name).exists(), name

@@ -1,0 +1,100 @@
+"""Tests for the simulated InstaGENI rack deployment."""
+
+import pytest
+
+from repro.errors import RSpecError
+from repro.testbed.geni import InstaGeniRack, swarm_config_from_rspec
+from repro.testbed.rspec import (
+    RSpecDocument,
+    RSpecLink,
+    RSpecNode,
+    star_rspec,
+)
+
+
+class TestDeploy:
+    def test_deploys_all_non_hub_nodes(self):
+        document = star_rspec(n_peers=3, capacity_kbps=1000)
+        deployed = InstaGeniRack().deploy(document)
+        names = {node.client_id for node in deployed}
+        assert names == {"seeder", "peer-1", "peer-2", "peer-3"}
+
+    def test_link_parameters_carried(self):
+        document = star_rspec(
+            n_peers=1, capacity_kbps=1024, latency_ms=12.5,
+            packet_loss=0.02,
+        )
+        (node,) = [
+            n
+            for n in InstaGeniRack().deploy(document)
+            if n.client_id == "peer-1"
+        ]
+        assert node.bandwidth == pytest.approx(128_000.0)
+        assert node.latency_to_hub == pytest.approx(0.0125)
+        assert node.loss_rate == pytest.approx(0.02)
+
+    def test_manual_installs_reported(self):
+        document = star_rspec(n_peers=1, capacity_kbps=1000)
+        deployed = InstaGeniRack().deploy(document)
+        seeder = next(n for n in deployed if n.client_id == "seeder")
+        assert seeder.pending_manual
+        assert seeder.installed
+
+    def test_node_without_hub_link_rejected(self):
+        document = RSpecDocument(
+            nodes=(RSpecNode("switch"), RSpecNode("orphan")), links=()
+        )
+        with pytest.raises(RSpecError):
+            InstaGeniRack().deploy(document)
+
+    def test_hub_only_document_rejected(self):
+        document = RSpecDocument(nodes=(RSpecNode("switch"),), links=())
+        with pytest.raises(RSpecError):
+            InstaGeniRack().deploy(document)
+
+    def test_build_topology(self):
+        document = star_rspec(n_peers=2, capacity_kbps=1000)
+        topology = InstaGeniRack().build_topology(document)
+        assert len(topology) == 3
+        assert "seeder" in topology
+
+
+class TestSwarmConfigFromRspec:
+    def test_derives_parameters(self):
+        document = star_rspec(
+            n_peers=19, capacity_kbps=8192, latency_ms=12.5,
+            packet_loss=0.0253,
+        )
+        config = swarm_config_from_rspec(document)
+        assert config.n_leechers == 19
+        assert config.bandwidth == pytest.approx(1_024_000.0)
+        assert config.peer_rtt == pytest.approx(0.05)
+        assert config.path_loss == pytest.approx(0.05, abs=0.001)
+
+    def test_overrides_win(self):
+        document = star_rspec(n_peers=2, capacity_kbps=1000)
+        config = swarm_config_from_rspec(document, seed=99)
+        assert config.seed == 99
+
+    def test_missing_seeder_rejected(self):
+        document = star_rspec(
+            n_peers=2, capacity_kbps=1000, seeder_name="origin"
+        )
+        with pytest.raises(RSpecError):
+            swarm_config_from_rspec(document)  # expects "seeder"
+
+    def test_mismatched_peer_capacity_rejected(self):
+        nodes = (
+            RSpecNode("switch"),
+            RSpecNode("seeder"),
+            RSpecNode("peer-1"),
+            RSpecNode("peer-2"),
+        )
+        links = (
+            RSpecLink("l0", ("seeder", "switch"), 1000),
+            RSpecLink("l1", ("peer-1", "switch"), 1000),
+            RSpecLink("l2", ("peer-2", "switch"), 2000),
+        )
+        document = RSpecDocument(nodes=nodes, links=links)
+        with pytest.raises(RSpecError):
+            swarm_config_from_rspec(document)

@@ -1,0 +1,81 @@
+"""Tests for bitrate analysis helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.analysis import bitrate_profile, sustainable_bandwidth
+from repro.video.bitstream import Bitstream
+from repro.video.frames import Frame, FrameType
+from repro.video.gop import Gop
+
+
+def constant_stream(
+    n_frames=50, frame_size=5000, fps=25, gop_len=25
+) -> Bitstream:
+    gops = []
+    frames = []
+    for index in range(n_frames):
+        frame_type = FrameType.I if index % gop_len == 0 else FrameType.P
+        if frame_type is FrameType.I and frames:
+            gops.append(Gop(frames=tuple(frames)))
+            frames = []
+        frames.append(
+            Frame(
+                index=index,
+                frame_type=frame_type,
+                size=frame_size,
+                duration=1.0 / fps,
+                pts=index / fps,
+            )
+        )
+    gops.append(Gop(frames=tuple(frames)))
+    return Bitstream(tuple(gops))
+
+
+class TestBitrateProfile:
+    def test_constant_stream_is_flat(self):
+        stream = constant_stream()
+        profile = bitrate_profile(stream, window=1.0)
+        expected = 5000 * 8 * 25
+        for rate in profile.rates:
+            assert rate == pytest.approx(expected, rel=0.01)
+        assert profile.peak_to_mean == pytest.approx(1.0, rel=0.01)
+
+    def test_window_count(self):
+        stream = constant_stream(n_frames=100)  # 4 seconds
+        profile = bitrate_profile(stream, window=1.0)
+        assert len(profile.rates) == 4
+
+    def test_mean_matches_stream_bitrate(self):
+        stream = constant_stream()
+        profile = bitrate_profile(stream, window=0.5)
+        assert profile.mean == pytest.approx(stream.bitrate, rel=0.05)
+
+    def test_synthetic_video_is_bursty(self, short_video):
+        profile = bitrate_profile(short_video, window=1.0)
+        # The scene model creates action spikes above nominal.
+        assert profile.peak_to_mean > 1.1
+
+    def test_invalid_window_rejected(self, short_video):
+        with pytest.raises(ConfigurationError):
+            bitrate_profile(short_video, window=0.0)
+
+
+class TestSustainableBandwidth:
+    def test_constant_stream_needs_its_rate(self):
+        stream = constant_stream()
+        need = sustainable_bandwidth(stream)
+        assert need == pytest.approx(5000 * 25, rel=0.05)
+
+    def test_startup_buffer_lowers_requirement(self, short_video):
+        cold = sustainable_bandwidth(short_video)
+        warm = sustainable_bandwidth(short_video, startup_buffer=4.0)
+        assert warm < cold
+
+    def test_bursty_stream_needs_more_than_mean(self, short_video):
+        need = sustainable_bandwidth(short_video)
+        assert need > short_video.size / short_video.duration * 0.99
+
+    def test_negative_buffer_rejected(self, short_video):
+        with pytest.raises(ConfigurationError):
+            sustainable_bandwidth(short_video, startup_buffer=-1.0)

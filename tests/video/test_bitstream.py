@@ -1,0 +1,107 @@
+"""Tests for the bitstream container type."""
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.video.bitstream import Bitstream
+from repro.video.frames import Frame, FrameType
+from repro.video.gop import Gop
+
+
+def make_gop(start_index: int, start_pts: float, pattern: str = "IPP"):
+    frames = []
+    for offset, letter in enumerate(pattern):
+        frames.append(
+            Frame(
+                index=start_index + offset,
+                frame_type=FrameType(letter),
+                size=8_000 if letter == "I" else 2_000,
+                duration=0.04,
+                pts=start_pts + offset * 0.04,
+            )
+        )
+    return Gop(frames=tuple(frames))
+
+
+def make_stream(n_gops: int = 3, pattern: str = "IPP") -> Bitstream:
+    gops = []
+    index, pts = 0, 0.0
+    for _ in range(n_gops):
+        gop = make_gop(index, pts, pattern)
+        gops.append(gop)
+        index += len(pattern)
+        pts = gop.end_pts
+    return Bitstream(tuple(gops))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(BitstreamError):
+            Bitstream(())
+
+    def test_gops_must_abut(self):
+        first = make_gop(0, 0.0)
+        gap = make_gop(3, 1.0)
+        with pytest.raises(BitstreamError):
+            Bitstream((first, gap))
+
+    def test_frame_indices_must_be_contiguous(self):
+        first = make_gop(0, 0.0)
+        wrong_index = make_gop(5, first.end_pts)
+        with pytest.raises(BitstreamError):
+            Bitstream((first, wrong_index))
+
+    def test_accepts_list(self):
+        stream = Bitstream([make_gop(0, 0.0)])
+        assert len(stream) == 1
+
+
+class TestAccessors:
+    def test_len_counts_gops(self):
+        assert len(make_stream(4)) == 4
+
+    def test_iteration_yields_gops(self):
+        stream = make_stream(3)
+        assert list(stream) == list(stream.gops)
+
+    def test_frames_in_order(self):
+        stream = make_stream(2)
+        indices = [frame.index for frame in stream.frames()]
+        assert indices == list(range(6))
+
+    def test_frame_count(self):
+        assert make_stream(3).frame_count == 9
+
+    def test_duration(self):
+        assert make_stream(2).duration == pytest.approx(0.24)
+
+    def test_size(self):
+        stream = make_stream(2)
+        assert stream.size == 2 * (8_000 + 2 * 2_000)
+
+    def test_bitrate(self):
+        stream = make_stream(1)
+        expected = stream.size * 8 / stream.duration
+        assert stream.bitrate == pytest.approx(expected)
+
+
+class TestStats:
+    def test_counts(self):
+        stats = make_stream(3).stats()
+        assert stats.gop_count == 3
+        assert stats.frame_count == 9
+
+    def test_gop_extremes(self):
+        stats = make_stream(3).stats()
+        assert stats.gop_duration_min == pytest.approx(0.12)
+        assert stats.gop_duration_max == pytest.approx(0.12)
+        assert stats.gop_duration_stdev == pytest.approx(0.0)
+
+    def test_frame_type_means(self):
+        stats = make_stream(2).stats()
+        assert stats.i_frame_mean_size == pytest.approx(8_000)
+        assert stats.p_frame_mean_size == pytest.approx(2_000)
+        assert stats.b_frame_mean_size == 0.0
+
+    def test_single_gop_stdev_zero(self):
+        assert make_stream(1).stats().gop_duration_stdev == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the byte-level container."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BitstreamError
+from repro.video.container import (
+    MAGIC,
+    deserialize_bitstream,
+    serialize_bitstream,
+)
+from repro.video.encoder import EncoderConfig, SyntheticEncoder
+from repro.video.scene import generate_scene_plan
+
+
+def encode(duration=10.0, seed=3):
+    rng = random.Random(seed)
+    plan = generate_scene_plan(duration, rng)
+    return SyntheticEncoder(EncoderConfig()).encode(plan, rng)
+
+
+class TestRoundTrip:
+    def test_frame_table_roundtrips(self):
+        stream = encode()
+        restored = deserialize_bitstream(serialize_bitstream(stream))
+        assert restored.size == stream.size
+        assert restored.frame_count == stream.frame_count
+        assert len(restored.gops) == len(stream.gops)
+
+    def test_frame_level_fidelity(self):
+        stream = encode()
+        restored = deserialize_bitstream(serialize_bitstream(stream))
+        for original, parsed in zip(stream.frames(), restored.frames()):
+            assert parsed.index == original.index
+            assert parsed.frame_type == original.frame_type
+            assert parsed.size == original.size
+            assert parsed.duration == pytest.approx(
+                original.duration, abs=1e-6
+            )
+
+    def test_payload_inflates_to_stream_size(self):
+        stream = encode(duration=5.0)
+        without = serialize_bitstream(stream, include_payload=False)
+        with_payload = serialize_bitstream(stream, include_payload=True)
+        assert len(with_payload) - len(without) == stream.size
+
+    def test_payload_ignored_on_parse(self):
+        stream = encode(duration=5.0)
+        data = serialize_bitstream(stream, include_payload=True)
+        restored = deserialize_bitstream(data)
+        assert restored.size == stream.size
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_property_roundtrip_any_seed(self, seed):
+        stream = encode(duration=4.0, seed=seed)
+        restored = deserialize_bitstream(serialize_bitstream(stream))
+        assert [f.size for f in restored.frames()] == [
+            f.size for f in stream.frames()
+        ]
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(BitstreamError):
+            deserialize_bitstream(b"RP")
+
+    def test_bad_magic(self):
+        data = serialize_bitstream(encode(duration=2.0))
+        with pytest.raises(BitstreamError):
+            deserialize_bitstream(b"XXXX" + data[4:])
+
+    def test_magic_constant(self):
+        assert MAGIC == b"RPV1"
+
+    def test_truncated_frame_table(self):
+        data = serialize_bitstream(encode(duration=2.0))
+        with pytest.raises(BitstreamError):
+            deserialize_bitstream(data[: len(data) // 2])
+
+    def test_unknown_frame_type_byte(self):
+        data = bytearray(serialize_bitstream(encode(duration=2.0)))
+        data[8] = ord("X")  # first frame record's type byte
+        with pytest.raises(BitstreamError):
+            deserialize_bitstream(bytes(data))

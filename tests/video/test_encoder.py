@@ -1,0 +1,124 @@
+"""Tests for the synthetic CBR encoder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.video.encoder import (
+    EncoderConfig,
+    SyntheticEncoder,
+    encode_paper_video,
+)
+from repro.video.frames import FrameType
+from repro.video.scene import generate_scene_plan
+
+
+def encode(duration=20.0, seed=1, **config_overrides):
+    rng = random.Random(seed)
+    plan = generate_scene_plan(duration, rng)
+    return SyntheticEncoder(EncoderConfig(**config_overrides)).encode(
+        plan, rng
+    )
+
+
+class TestEncoderConfig:
+    def test_defaults_valid(self):
+        cfg = EncoderConfig()
+        assert cfg.fps == 25
+
+    def test_frame_duration(self):
+        assert EncoderConfig(fps=50).frame_duration == pytest.approx(0.02)
+
+    def test_bytes_per_frame(self):
+        cfg = EncoderConfig(fps=25, bitrate=1_000_000.0)
+        assert cfg.bytes_per_frame == pytest.approx(5000.0)
+
+    def test_zero_fps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(fps=0)
+
+    def test_weight_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(i_weight=1.0, p_weight=2.0)
+
+    def test_negative_b_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(b_frames=-1)
+
+
+class TestEncoding:
+    def test_hits_target_bitrate(self):
+        stream = encode(duration=30.0, bitrate=950_000.0)
+        assert stream.bitrate == pytest.approx(950_000.0, rel=0.01)
+
+    def test_frame_count_matches_fps(self):
+        stream = encode(duration=20.0)
+        assert stream.frame_count == 500  # 20 s * 25 fps
+
+    def test_starts_with_i_frame(self):
+        stream = encode()
+        first = next(stream.frames())
+        assert first.frame_type is FrameType.I
+
+    def test_deterministic(self):
+        a = encode(seed=11)
+        b = encode(seed=11)
+        assert [f.size for f in a.frames()] == [f.size for f in b.frames()]
+
+    def test_seed_changes_stream(self):
+        a = encode(seed=11)
+        b = encode(seed=12)
+        assert [f.size for f in a.frames()] != [f.size for f in b.frames()]
+
+    def test_i_frames_are_larger_on_average(self):
+        stats = encode(duration=60.0).stats()
+        assert stats.i_frame_mean_size > 2 * stats.p_frame_mean_size
+        assert stats.p_frame_mean_size > stats.b_frame_mean_size
+
+    def test_keyframe_interval_bounds_gop_length(self):
+        stream = encode(duration=60.0, keyframe_interval=100)
+        assert max(len(gop) for gop in stream.gops) <= 100
+
+    def test_no_b_frames_when_disabled(self):
+        stream = encode(b_frames=0)
+        assert all(
+            frame.frame_type is not FrameType.B
+            for frame in stream.frames()
+        )
+
+    def test_gop_durations_vary_with_content(self):
+        stats = encode(duration=120.0).stats()
+        # The paper's premise: "very big" and very small GOPs coexist.
+        assert stats.gop_duration_max > 5 * stats.gop_duration_min
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_property_gops_are_closed(self, seed):
+        stream = encode(duration=15.0, seed=seed)
+        for gop in stream.gops:
+            assert gop.frames[0].frame_type is FrameType.I
+            assert all(
+                f.frame_type is not FrameType.I for f in gop.frames[1:]
+            )
+
+
+class TestEncodePaperVideo:
+    def test_duration_and_rate(self):
+        stream = encode_paper_video(seed=0)
+        assert stream.duration == pytest.approx(120.0, abs=0.1)
+        assert stream.bitrate == pytest.approx(950_000.0, rel=0.01)
+
+    def test_custom_bitrate(self):
+        stream = encode_paper_video(seed=0, duration=20.0, bitrate=500_000)
+        assert stream.bitrate == pytest.approx(500_000.0, rel=0.01)
+
+    def test_config_passthrough_keeps_bitrate_argument(self):
+        cfg = EncoderConfig(fps=30)
+        stream = encode_paper_video(
+            seed=0, duration=9.0, bitrate=600_000, config=cfg
+        )
+        assert stream.frame_count == 270
+        assert stream.bitrate == pytest.approx(600_000.0, rel=0.01)

@@ -1,0 +1,91 @@
+"""Tests for open-GOP encoding and its splicing constraints."""
+
+import random
+
+import pytest
+
+from repro.core.splicer import DurationSplicer, GopSplicer
+from repro.errors import SpliceError
+from repro.video.bitstream import Bitstream
+from repro.video.encoder import EncoderConfig, SyntheticEncoder
+from repro.video.frames import Frame, FrameType
+from repro.video.gop import Gop
+from repro.video.scene import generate_scene_plan
+
+
+def encode(open_gop: bool, keyframe_interval=50, duration=30.0, seed=9):
+    rng = random.Random(seed)
+    plan = generate_scene_plan(duration, rng)
+    config = EncoderConfig(
+        keyframe_interval=keyframe_interval, open_gop=open_gop
+    )
+    return SyntheticEncoder(config).encode(plan, rng)
+
+
+class TestOpenGopEncoding:
+    def test_closed_mode_has_only_closed_gops(self):
+        stream = encode(open_gop=False)
+        assert all(gop.closed for gop in stream.gops)
+
+    def test_open_mode_produces_open_gops(self):
+        # A small keyframe interval forces many interval I-frames
+        # inside calm shots; those become open GOPs.
+        stream = encode(open_gop=True, keyframe_interval=50)
+        assert any(not gop.closed for gop in stream.gops)
+
+    def test_stream_starts_closed(self):
+        stream = encode(open_gop=True)
+        assert stream.gops[0].closed
+
+    def test_open_flag_does_not_change_sizes(self):
+        closed = encode(open_gop=False, seed=4)
+        opened = encode(open_gop=True, seed=4)
+        assert closed.size == opened.size
+        assert closed.frame_count == opened.frame_count
+
+
+class TestGopSplicerWithOpenGops:
+    def test_segments_never_start_with_open_gop(self):
+        stream = encode(open_gop=True, keyframe_interval=50)
+        result = GopSplicer().splice(stream)
+        # Fewer segments than GOPs: open GOPs merged with predecessors.
+        open_count = sum(1 for gop in stream.gops if not gop.closed)
+        assert open_count > 0
+        assert len(result) == len(stream.gops) - open_count
+
+    def test_open_stream_segments_still_cover_everything(self):
+        stream = encode(open_gop=True, keyframe_interval=50)
+        result = GopSplicer().splice(stream)
+        total_frames = sum(len(s.frames) for s in result.segments)
+        assert total_frames == stream.frame_count
+        assert result.total_size == stream.size
+
+    def test_closed_stream_unchanged_behaviour(self):
+        stream = encode(open_gop=False)
+        result = GopSplicer().splice(stream)
+        assert len(result) == len(stream.gops)
+
+    def test_leading_open_gop_rejected(self):
+        frames_a = (
+            Frame(0, FrameType.I, 1000, 0.04, 0.0),
+            Frame(1, FrameType.P, 500, 0.04, 0.04),
+        )
+        stream = Bitstream(
+            (Gop(frames=frames_a, closed=False),)
+        )
+        with pytest.raises(SpliceError):
+            GopSplicer().splice(stream)
+
+    def test_grouping_counts_closed_groups(self):
+        stream = encode(open_gop=True, keyframe_interval=50)
+        single = GopSplicer().splice(stream)
+        double = GopSplicer(gops_per_segment=2).splice(stream)
+        assert len(double) == (len(single) + 1) // 2
+
+
+class TestDurationSplicerUnaffected:
+    def test_duration_splicing_works_on_open_gop_stream(self):
+        stream = encode(open_gop=True, keyframe_interval=50)
+        result = DurationSplicer(4.0).splice(stream)
+        for segment in result.segments:
+            assert segment.frames[0].frame_type is FrameType.I
