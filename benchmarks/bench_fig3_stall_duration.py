@@ -7,6 +7,7 @@ from __future__ import annotations
 
 from repro.experiments import fig3
 from repro.experiments.report import format_figure
+from repro.obs import Observability, render_run_report
 
 
 def _by_bw(cells):
@@ -14,13 +15,18 @@ def _by_bw(cells):
 
 
 def test_fig3_stall_durations(benchmark, experiment_config, paper_video, emit):
+    obs = Observability.metrics_only()
     result = benchmark.pedantic(
         fig3.run,
-        kwargs={"config": experiment_config, "video": paper_video},
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "obs": obs,
+        },
         rounds=1,
         iterations=1,
     )
-    emit(format_figure(result))
+    emit(format_figure(result) + "\n\n" + render_run_report(obs))
 
     # Stall time collapses as bandwidth grows, for every technique.
     for label, cells in result.series.items():

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import fig4
 from repro.experiments.report import format_figure
+from repro.obs import Observability, render_run_report
 
 
 def _by_bw(cells):
@@ -16,13 +17,22 @@ def _by_bw(cells):
 
 
 def test_fig4_startup_times(benchmark, experiment_config, paper_video, emit):
+    obs = Observability.metrics_only()
     result = benchmark.pedantic(
         fig4.run,
-        kwargs={"config": experiment_config, "video": paper_video},
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "obs": obs,
+        },
         rounds=1,
         iterations=1,
     )
-    emit(format_figure(result, precision=2))
+    emit(
+        format_figure(result, precision=2)
+        + "\n\n"
+        + render_run_report(obs)
+    )
 
     two = _by_bw(result.series["2 sec segment"])
     four = _by_bw(result.series["4 sec segment"])

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import fig5
 from repro.experiments.report import format_figure
+from repro.obs import Observability, render_run_report
 
 
 def _by_bw(cells):
@@ -16,13 +17,18 @@ def _by_bw(cells):
 
 
 def test_fig5_pool_policies(benchmark, experiment_config, paper_video, emit):
+    obs = Observability.metrics_only()
     result = benchmark.pedantic(
         fig5.run,
-        kwargs={"config": experiment_config, "video": paper_video},
+        kwargs={
+            "config": experiment_config,
+            "video": paper_video,
+            "obs": obs,
+        },
         rounds=1,
         iterations=1,
     )
-    emit(format_figure(result))
+    emit(format_figure(result) + "\n\n" + render_run_report(obs))
 
     adaptive = _by_bw(result.series["Adaptive pooling"])
     fixed = {

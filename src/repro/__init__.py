@@ -35,6 +35,7 @@ from .core import (
     max_cdn_segment_size,
 )
 from .errors import ReproError
+from .obs import Observability
 from .p2p import Swarm, SwarmConfig
 from .player import Player, PlayerState, StreamingMetrics
 from .units import kB_per_s, kbps, kilobytes, mbps, megabytes
@@ -56,6 +57,7 @@ __all__ = [
     "EncoderConfig",
     "FixedPoolPolicy",
     "GopSplicer",
+    "Observability",
     "Player",
     "PlayerState",
     "ReproError",

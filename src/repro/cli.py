@@ -7,7 +7,8 @@ Commands:
   figure (``--quick`` runs a reduced sweep for a fast look);
 * ``overhead`` — the splicing byte-overhead table (ablation A3);
 * ``rspec`` — print the experiment's request RSpec XML (Fig. 1);
-* ``timeline`` — run one swarm and render per-peer session timelines.
+* ``timeline`` — run one swarm and render per-peer session timelines;
+* ``trace`` — summarize a JSONL trace written by ``reproduce --trace``.
 """
 
 from __future__ import annotations
@@ -16,12 +17,22 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import __version__
 from .core.splicer import DurationSplicer, GopSplicer
+from .errors import TraceError
 from .experiments import fig2, fig3, fig4, fig5
 from .experiments.ablations import run_overhead
-from .experiments.config import ExperimentConfig
+from .experiments.config import ExperimentConfig, make_swarm_config
 from .experiments.report import format_figure
 from .experiments.timeline import render_timeline
+from .obs import (
+    Observability,
+    dump_jsonl,
+    event_counts,
+    load_jsonl,
+    render_trace_summary,
+    summarize_trace,
+)
 from .p2p.swarm import Swarm, SwarmConfig
 from .testbed.rspec import star_rspec
 from .units import kB_per_s
@@ -34,6 +45,9 @@ _FIGURES = {
     "fig5": (fig5, 1),
 }
 
+#: Segment duration of the representative run ``--trace`` records.
+_TRACE_SEGMENT_DURATION = 4.0
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
@@ -43,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Video Splicing Techniques for P2P "
             "Video Streaming' (ICDCS 2015)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -75,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--output", default=None, help="also write the report here"
     )
+    reproduce.add_argument(
+        "--figure",
+        choices=("2", "3", "4", "5"),
+        default=None,
+        help="regenerate only this figure",
+    )
+    reproduce.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also run one fully-traced representative swarm and write "
+            "its JSONL trace here (inspect with 'repro trace PATH')"
+        ),
+    )
 
     rspec = sub.add_parser("rspec", help="print the slice RSpec XML")
     rspec.add_argument("--peers", type=int, default=19)
@@ -89,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--duration", type=float, default=4.0)
     timeline.add_argument("--peers", type=int, default=9)
     timeline.add_argument("--seed", type=int, default=7)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a JSONL trace file"
+    )
+    trace.add_argument("path", help="trace written by reproduce --trace")
     return parser
 
 
@@ -107,6 +146,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_rspec(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -158,16 +199,93 @@ def _cmd_overhead() -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.reproduce import reproduce_all
 
-    if args.quick:
-        config = ExperimentConfig(n_leechers=9, seeds=(7,))
-        report = reproduce_all(config, include_ablations=False)
+    config = (
+        ExperimentConfig(n_leechers=9, seeds=(7,))
+        if args.quick
+        else ExperimentConfig()
+    )
+    if args.trace is not None:
+        # Fail on an unwritable path now, not after the whole sweep.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace '{args.trace}': {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.figure is not None:
+        module, precision = _FIGURES[f"fig{args.figure}"]
+        if args.quick:
+            result = module.run(config, bandwidths_kb=(128, 512))
+        else:
+            result = module.run(config)
+        text = format_figure(result, precision=precision)
     else:
-        report = reproduce_all()
-    text = report.render()
+        report = reproduce_all(
+            config, include_ablations=not args.quick
+        )
+        text = report.render()
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
+    if args.trace is not None:
+        _write_representative_trace(args, config)
+    return 0
+
+
+def _write_representative_trace(
+    args: argparse.Namespace, config: ExperimentConfig
+) -> int:
+    """Run one fully-traced swarm and dump its JSONL trace.
+
+    One run, not the whole sweep: a multi-run trace would interleave
+    restarting sim clocks, and the point of ``--trace`` is a file whose
+    ``repro trace`` summary matches one run's :class:`SwarmResult`
+    exactly.  The run uses the target figure's first bandwidth, the
+    first configured seed, and 4-second duration splicing (the paper's
+    middle technique).
+    """
+    if args.figure == "4":
+        from .experiments.config import FIG4_BANDWIDTHS_KB
+
+        bandwidth_kb = FIG4_BANDWIDTHS_KB[0]
+    else:
+        from .experiments.config import PAPER_BANDWIDTHS_KB
+
+        bandwidth_kb = PAPER_BANDWIDTHS_KB[0]
+    video = encode_paper_video(seed=config.video_seed)
+    splice = DurationSplicer(_TRACE_SEGMENT_DURATION).splice(video)
+    obs = Observability.tracing(profile=True)
+    swarm_config = make_swarm_config(
+        bandwidth_kb, config.seeds[0], config
+    )
+    Swarm(splice, swarm_config, obs=obs).run()
+    dump_jsonl(obs.events(), args.trace)
+    print(
+        f"traced representative run ({splice.technique}, "
+        f"{bandwidth_kb} kB/s, seed {config.seeds[0]}): "
+        f"{len(obs.events())} events -> {args.trace}"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        events = load_jsonl(args.path)
+        summaries = summarize_trace(events)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_summary(summaries))
+    print()
+    print("Events by category:")
+    for category, names in sorted(event_counts(events).items()):
+        total = sum(names.values())
+        detail = ", ".join(
+            f"{name} x{count}" for name, count in sorted(names.items())
+        )
+        print(f"  {category} ({total}): {detail}")
     return 0
 
 

@@ -74,3 +74,7 @@ class RSpecError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
+
+
+class TraceError(ReproError):
+    """A trace, metric, or exporter was configured or parsed incorrectly."""

@@ -13,6 +13,7 @@ series decrease with bandwidth.
 from __future__ import annotations
 
 from ..core.splicer import DurationSplicer, GopSplicer, Splicer
+from ..obs.context import Observability
 from ..video.bitstream import Bitstream
 from .config import PAPER_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
 from .config import make_paper_video
@@ -30,6 +31,7 @@ def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+    obs: Observability | None = None,
 ) -> FigureResult:
     """Reproduce Figure 2.
 
@@ -37,6 +39,8 @@ def run(
         config: shared experiment parameters.
         video: pre-encoded video (encoded fresh when omitted).
         bandwidths_kb: x-axis points in kB/s.
+        obs: optional observability context shared by every cell
+            (metrics-only recommended; see :func:`~.runner.run_cell`).
 
     Returns:
         Stall-count series per splicing technique.
@@ -47,7 +51,7 @@ def run(
     for splicer in splicers():
         splice = splicer.splice(stream)
         series[splice.technique] = [
-            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
         ]
     return FigureResult(
         figure="fig2",

@@ -8,6 +8,7 @@ stall time even when their stall *count* is higher.
 
 from __future__ import annotations
 
+from ..obs.context import Observability
 from ..video.bitstream import Bitstream
 from .config import PAPER_BANDWIDTHS_KB, ExperimentConfig, make_paper_video
 from .fig2 import splicers
@@ -18,6 +19,7 @@ def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+    obs: Observability | None = None,
 ) -> FigureResult:
     """Reproduce Figure 3 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -26,7 +28,7 @@ def run(
     for splicer in splicers():
         splice = splicer.splice(stream)
         series[splice.technique] = [
-            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
         ]
     return FigureResult(
         figure="fig3",

@@ -12,6 +12,7 @@ bandwidth network" — and every series falls as bandwidth grows.
 from __future__ import annotations
 
 from ..core.splicer import DurationSplicer
+from ..obs.context import Observability
 from ..video.bitstream import Bitstream
 from .config import FIG4_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
 from .config import make_paper_video
@@ -22,6 +23,7 @@ def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = FIG4_BANDWIDTHS_KB,
+    obs: Observability | None = None,
 ) -> FigureResult:
     """Reproduce Figure 4 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -30,7 +32,7 @@ def run(
     for duration in PAPER_DURATIONS:
         splice = DurationSplicer(duration).splice(stream)
         series[f"{int(duration)} sec segment"] = [
-            run_cell(splice, bw, cfg) for bw in bandwidths_kb
+            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
         ]
     return FigureResult(
         figure="fig4",

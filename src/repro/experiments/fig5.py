@@ -21,6 +21,7 @@ from .config import (
     ExperimentConfig,
     make_paper_video,
 )
+from ..obs.context import Observability
 from .runner import FigureResult, run_cell
 
 #: Segment duration used in the pooling experiment, seconds.
@@ -38,6 +39,7 @@ def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+    obs: Observability | None = None,
 ) -> FigureResult:
     """Reproduce Figure 5 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -52,7 +54,7 @@ def run(
     series = {}
     for policy in policies():
         series[labels[policy.name]] = [
-            run_cell(splice, bw, cfg, policy=policy)
+            run_cell(splice, bw, cfg, policy=policy, obs=obs)
             for bw in bandwidths_kb
         ]
     return FigureResult(

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 
 from ..core.policy import DownloadPolicy
 from ..core.segments import SpliceResult
+from ..obs.context import Observability
 from ..p2p.swarm import Swarm, SwarmResult
 from .config import ExperimentConfig, make_swarm_config
 
@@ -67,6 +68,7 @@ def run_cell(
     bandwidth_kb: float,
     config: ExperimentConfig | None = None,
     policy: DownloadPolicy | None = None,
+    obs: Observability | None = None,
 ) -> CellResult:
     """Run one cell: every configured seed, then average.
 
@@ -75,6 +77,12 @@ def run_cell(
         bandwidth_kb: peer bandwidth in kB/s.
         config: shared experiment parameters.
         policy: download policy override.
+        obs: optional observability context shared by every run of the
+            cell.  Counters and histograms accumulate across seeds
+            (each run's histogram intervals are closed at run end);
+            gauges keep the last run's value.  Tracing a multi-seed
+            cell mixes restarting sim clocks in one trace — prefer a
+            metrics-only context here and trace single runs instead.
 
     Returns:
         Seed-averaged :class:`CellResult`.
@@ -85,7 +93,7 @@ def run_cell(
         swarm_config = make_swarm_config(
             bandwidth_kb, seed, cfg, policy
         )
-        results.append(Swarm(splice, swarm_config).run())
+        results.append(Swarm(splice, swarm_config, obs=obs).run())
     return CellResult(
         bandwidth_kb=bandwidth_kb,
         stall_count=statistics.fmean(

@@ -8,9 +8,15 @@ callback)`` triples in a heap; ties in time break by scheduling order
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import SimulationError
+from ..obs.events import SimulationCompleted, SimulationStarted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import EngineProfile
+    from ..obs.tracer import Tracer
 
 
 class EventHandle:
@@ -55,18 +61,39 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.5, my_callback, arg)
         sim.run()
+
+    Args:
+        tracer: optional event tracer; when enabled, each ``run``
+            brackets its events with ``SimulationStarted`` /
+            ``SimulationCompleted``.
+        profile: optional :class:`~repro.obs.profile.EngineProfile`
+            accumulating per-handler-category wall time.  Profiling
+            never touches the simulated clock — results are identical
+            with it on or off.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer | None" = None,
+        profile: "EngineProfile | None" = None,
+    ) -> None:
         self._now = 0.0
         self._seq = 0
         self._queue: list[EventHandle] = []
         self._running = False
+        self._tracer = tracer
+        self.profile = profile
+        self._events_fired = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks the event loop has executed."""
+        return self._events_fired
 
     @property
     def pending_events(self) -> int:
@@ -114,6 +141,17 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
+        profile = self.profile
+        if tracing:
+            tracer.emit(
+                SimulationStarted(
+                    time=self._now, pending=self.pending_events
+                )
+            )
+        wall_started = perf_counter() if tracing else 0.0
+        fired = 0
         try:
             while self._queue:
                 event = self._queue[0]
@@ -124,11 +162,28 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event._fire()
+                fired += 1
+                if profile is None:
+                    event._fire()
+                else:
+                    handler_started = perf_counter()
+                    event._fire()
+                    profile.record(
+                        event._callback, perf_counter() - handler_started
+                    )
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._events_fired += fired
             self._running = False
+        if tracing:
+            tracer.emit(
+                SimulationCompleted(
+                    time=self._now,
+                    events_fired=fired,
+                    wall_seconds=perf_counter() - wall_started,
+                )
+            )
 
     def run_until_idle(self, max_time: float = 1e9) -> None:
         """Run until no events remain, guarding against runaway loops.

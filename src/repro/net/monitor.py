@@ -4,6 +4,12 @@ Samples the flow network at a fixed period and accumulates per-link
 utilization statistics — the observability layer the ablations and the
 A1 sweet-spot analysis rely on ("very small segments reduce network
 throughput" is a utilization statement).
+
+Samples are published as ``net.link.<name>.utilization`` timeseries in
+a :class:`~repro.obs.metrics.MetricsRegistry` — pass the run's registry
+to fold link telemetry into its run report / CSV export, or let the
+monitor keep a private one.  The summary API (:meth:`~LinkMonitor.utilization`,
+:meth:`~LinkMonitor.report`) is unchanged either way.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import statistics
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry, Timeseries
 from .engine import Simulator
 from .flownet import FlowNetwork
 from .link import Link
@@ -44,6 +51,8 @@ class LinkMonitor:
         network: the flow network to sample.
         links: links to watch.
         period: sampling period in seconds.
+        registry: metrics registry to publish samples into; a private
+            one is created when omitted.
     """
 
     def __init__(
@@ -52,6 +61,7 @@ class LinkMonitor:
         network: FlowNetwork,
         links: list[Link],
         period: float = 1.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if period <= 0:
             raise ConfigurationError(
@@ -63,10 +73,19 @@ class LinkMonitor:
         self._network = network
         self._links = list(links)
         self._period = period
-        self._samples: dict[str, list[float]] = {
-            link.name: [] for link in self._links
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._series: dict[str, Timeseries] = {
+            link.name: self._registry.timeseries(
+                f"net.link.{link.name}.utilization"
+            )
+            for link in self._links
         }
         self._running = False
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry receiving the utilization timeseries."""
+        return self._registry
 
     def start(self) -> None:
         """Begin sampling (idempotent)."""
@@ -82,14 +101,15 @@ class LinkMonitor:
     def _sample(self) -> None:
         if not self._running:
             return
+        now = self._sim.now
         for link in self._links:
             allocated = sum(
                 flow.rate
                 for flow in self._network.active_flows
                 if link in flow.route
             )
-            self._samples[link.name].append(
-                min(1.0, allocated / link.capacity)
+            self._series[link.name].sample(
+                now, min(1.0, allocated / link.capacity)
             )
         self._sim.schedule(self._period, self._sample)
 
@@ -100,11 +120,12 @@ class LinkMonitor:
             ConfigurationError: if the link was never monitored or no
                 samples were taken.
         """
-        samples = self._samples.get(link.name)
-        if samples is None:
+        series = self._series.get(link.name)
+        if series is None:
             raise ConfigurationError(
                 f"link {link.name!r} is not monitored"
             )
+        samples = series.values()
         if not samples:
             raise ConfigurationError(
                 f"no samples collected for link {link.name!r}"
@@ -123,5 +144,5 @@ class LinkMonitor:
         return [
             self.utilization(link)
             for link in self._links
-            if self._samples[link.name]
+            if len(self._series[link.name])
         ]

@@ -26,6 +26,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import NetworkError
+from ..obs.events import (
+    FlowRateChanged,
+    TransferCancelled,
+    TransferCompleted,
+    TransferStarted,
+)
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..units import DEFAULT_MSS
 from .engine import EventHandle, Simulator
 from .flownet import Flow, FlowNetwork
@@ -115,6 +122,8 @@ class TcpTransfer:
         size: float,
         params: TcpParams,
         on_complete: Callable[["TcpTransfer"], None] | None,
+        tracer: Tracer = NULL_TRACER,
+        label: str = "",
     ) -> None:
         self._sim = sim
         self._network = network
@@ -122,6 +131,8 @@ class TcpTransfer:
         self.size = size
         self.params = params
         self._on_complete = on_complete
+        self._tracer = tracer
+        self.label = label
         self.rtt = max(2.0 * path_latency(list(route)), _MIN_RTT)
         self.loss_rate = path_loss_rate(list(route))
         self.started_at = sim.now
@@ -164,6 +175,16 @@ class TcpTransfer:
         """Abort the transfer; no completion callback will fire."""
         if not self.active:
             return
+        if self._tracer.enabled:
+            # Before flipping ``cancelled`` so ``transferred`` still
+            # reads the live flow, not the post-cancel fallback.
+            self._tracer.emit(
+                TransferCancelled(
+                    time=self._sim.now,
+                    label=self.label,
+                    transferred=self.transferred,
+                )
+            )
         self.cancelled = True
         if self._pending is not None:
             self._pending.cancel()
@@ -184,6 +205,16 @@ class TcpTransfer:
         self._pending = None
         if self.cancelled:
             return
+        if self._tracer.enabled:
+            self._tracer.emit(
+                TransferStarted(
+                    time=self._sim.now,
+                    label=self.label,
+                    size=self.size,
+                    rtt=self.rtt,
+                    loss_rate=self.loss_rate,
+                )
+            )
         # The window floor (sub-MSS congestion windows cannot recover
         # losses via fast retransmit) only bites loss-based transports
         # on lossy paths.
@@ -211,6 +242,14 @@ class TcpTransfer:
             # flow tracks future capacity changes.
             if self._flow is not None and self._flow.active:
                 self._network.set_rate_limit(self._flow, self._cap)
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        FlowRateChanged(
+                            time=self._sim.now,
+                            label=self.label,
+                            rate=self._cap if self._cap is not None else 0.0,
+                        )
+                    )
             return
         self._pending = self._sim.schedule(self.rtt, self._grow_window)
 
@@ -220,6 +259,14 @@ class TcpTransfer:
             return
         self._cwnd_segments *= 2
         self._network.set_rate_limit(self._flow, self._window_rate())
+        if self._tracer.enabled:
+            self._tracer.emit(
+                FlowRateChanged(
+                    time=self._sim.now,
+                    label=self.label,
+                    rate=self._window_rate(),
+                )
+            )
         self._schedule_window_growth()
 
     def _on_flow_complete(self, flow: Flow) -> None:
@@ -227,6 +274,15 @@ class TcpTransfer:
             self._pending.cancel()
             self._pending = None
         self.completed_at = self._sim.now
+        if self._tracer.enabled:
+            self._tracer.emit(
+                TransferCompleted(
+                    time=self._sim.now,
+                    label=self.label,
+                    size=self.size,
+                    duration=self.completed_at - self.started_at,
+                )
+            )
         if self._on_complete is not None:
             self._on_complete(self)
 
@@ -238,6 +294,8 @@ def start_tcp_transfer(
     size: float,
     params: TcpParams | None = None,
     on_complete: Callable[[TcpTransfer], None] | None = None,
+    tracer: Tracer = NULL_TRACER,
+    label: str = "",
 ) -> TcpTransfer:
     """Open a TCP connection and transfer ``size`` bytes over ``route``.
 
@@ -248,6 +306,9 @@ def start_tcp_transfer(
         size: bytes to transfer (> 0).
         params: TCP tunables (defaults per :class:`TcpParams`).
         on_complete: called with the transfer when the last byte lands.
+        tracer: where transfer lifecycle events go (disabled default).
+        label: caller-chosen transfer name carried in every event
+            (convention: ``src->dst#segment``).
 
     Returns:
         The in-flight :class:`TcpTransfer` (cancel with ``.cancel()``).
@@ -258,5 +319,12 @@ def start_tcp_transfer(
     if size <= 0:
         raise NetworkError(f"transfer size must be positive, got {size}")
     return TcpTransfer(
-        sim, network, route, size, params or TcpParams(), on_complete
+        sim,
+        network,
+        route,
+        size,
+        params or TcpParams(),
+        on_complete,
+        tracer=tracer,
+        label=label,
     )

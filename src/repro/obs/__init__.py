@@ -1,0 +1,126 @@
+"""Observability: sim-time tracing, metrics, profiles, exporters.
+
+The paper's entire evaluation is observational — stall counts, stall
+durations, startup times, pool sizes — and this package is the layer
+every other subsystem records into:
+
+* :mod:`repro.obs.events` — the typed event taxonomy, keyed on
+  simulator time;
+* :mod:`repro.obs.tracer` — ring-buffer event recording with a
+  one-attribute-check disabled path (:data:`NULL_TRACER`);
+* :mod:`repro.obs.metrics` — counters, gauges, sim-time-weighted
+  histograms, raw timeseries;
+* :mod:`repro.obs.profile` — event-loop wall-time profiling by
+  handler category;
+* :mod:`repro.obs.context` — :class:`Observability`, the bundle
+  threaded through :class:`~repro.p2p.swarm.Swarm` and the experiment
+  harness;
+* :mod:`repro.obs.export` — JSONL traces, CSV timeseries, and the
+  human-readable run report.
+
+Tracing a run::
+
+    from repro import Observability, Swarm, SwarmConfig
+    from repro.obs import dump_jsonl, render_run_report
+
+    obs = Observability.tracing()
+    result = Swarm(splice, SwarmConfig(bandwidth=64e3), obs=obs).run()
+    dump_jsonl(obs.events(), "run.jsonl")
+    print(render_run_report(obs))
+"""
+
+from .context import Observability
+from .events import (
+    EVENT_TYPES,
+    SEVERITIES,
+    FlowRateChanged,
+    ManifestReceived,
+    PeerDeparted,
+    PeerJoined,
+    PieceReceived,
+    PlaybackFinished,
+    PlaybackStarted,
+    PoolResized,
+    RequestTimedOut,
+    SegmentRequested,
+    SelectionMade,
+    SimulationCompleted,
+    SimulationStarted,
+    StallEnded,
+    StallStarted,
+    TraceEvent,
+    TransferCancelled,
+    TransferCompleted,
+    TransferStarted,
+    event_from_dict,
+    event_type,
+)
+from .export import (
+    PeerTraceSummary,
+    dump_jsonl,
+    event_counts,
+    events_to_jsonl,
+    load_jsonl,
+    render_run_report,
+    render_trace_summary,
+    summarize_trace,
+    timeseries_csv,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    HistogramSummary,
+    MetricsRegistry,
+    Timeseries,
+    TimeWeightedHistogram,
+)
+from .profile import EngineProfile, handler_category
+from .tracer import NULL_TRACER, EventTracer, NullTracer, Tracer
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_TRACER",
+    "SEVERITIES",
+    "Counter",
+    "EngineProfile",
+    "EventTracer",
+    "FlowRateChanged",
+    "Gauge",
+    "HistogramSummary",
+    "ManifestReceived",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "PeerDeparted",
+    "PeerJoined",
+    "PeerTraceSummary",
+    "PieceReceived",
+    "PlaybackFinished",
+    "PlaybackStarted",
+    "PoolResized",
+    "RequestTimedOut",
+    "SegmentRequested",
+    "SelectionMade",
+    "SimulationCompleted",
+    "SimulationStarted",
+    "StallEnded",
+    "StallStarted",
+    "Timeseries",
+    "TimeWeightedHistogram",
+    "TraceEvent",
+    "Tracer",
+    "TransferCancelled",
+    "TransferCompleted",
+    "TransferStarted",
+    "dump_jsonl",
+    "event_counts",
+    "event_from_dict",
+    "event_type",
+    "events_to_jsonl",
+    "handler_category",
+    "load_jsonl",
+    "render_run_report",
+    "render_trace_summary",
+    "summarize_trace",
+    "timeseries_csv",
+]

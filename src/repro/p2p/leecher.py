@@ -20,6 +20,16 @@ from ..net.engine import EventHandle, Simulator
 from ..net.flownet import FlowNetwork
 from ..net.tcp import TcpParams
 from ..net.topology import Node, StarTopology
+from ..obs.context import Observability
+from ..obs.events import (
+    ManifestReceived,
+    PeerDeparted,
+    PeerJoined,
+    PieceReceived,
+    PoolResized,
+    RequestTimedOut,
+    SegmentRequested,
+)
 from ..player.metrics import StreamingMetrics
 from ..player.player import Player, PlayerState
 from .messages import (
@@ -34,7 +44,7 @@ from .messages import (
     RequestRejected,
 )
 from .peer import ControlPlane, PeerBase
-from .selection import PieceSelector, SequentialSelector
+from .selection import PieceSelector, SequentialSelector, TracingSelector
 
 
 class BandwidthEstimator(Protocol):
@@ -155,14 +165,21 @@ class Leecher(PeerBase):
         config: LeecherConfig,
         tcp_params: TcpParams | None = None,
         upload_slots: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(
             name, node, sim, network, topology, control, tcp_params,
-            upload_slots,
+            upload_slots, obs,
         )
         self._seeder_name = seeder_name
         self._config = config
         self._rng = random.Random(config.seed)
+        self._selector: PieceSelector = (
+            TracingSelector(config.selector, self._tracer, name, sim)
+            if self._tracer.enabled
+            else config.selector
+        )
+        self._last_pool_size: int | None = None
         self.metrics = StreamingMetrics(session_start=sim.now)
         self.manifest: Manifest | None = None
         self.player: Player | None = None
@@ -195,6 +212,12 @@ class Leecher(PeerBase):
             return
         self._started = True
         self.metrics.session_start = self._sim.now
+        if self._tracer.enabled:
+            self._tracer.emit(
+                PeerJoined(time=self._sim.now, peer=self.name)
+            )
+        if self._metrics is not None:
+            self._metrics.counter("swarm.joins").inc()
         self._request_manifest()
 
     def _request_manifest(self) -> None:
@@ -207,9 +230,20 @@ class Leecher(PeerBase):
         )
 
     def leave(self) -> None:
+        cancelled = len(self._inflight)
         for index in list(self._inflight):
             self._drop_inflight(index)
             self.metrics.downloads_cancelled += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                PeerDeparted(
+                    time=self._sim.now,
+                    peer=self.name,
+                    downloads_cancelled=cancelled,
+                )
+            )
+        if self._metrics is not None:
+            self._metrics.counter("swarm.departures").inc()
         super().leave()
 
     def _drop_inflight(self, index: int) -> str | None:
@@ -272,7 +306,18 @@ class Leecher(PeerBase):
             on_state_change=self._on_player_state,
             metrics=self.metrics,
             preroll_segments=self._config.preroll_segments,
+            tracer=self._tracer,
+            peer=self.name,
         )
+        if self._tracer.enabled:
+            self._tracer.emit(
+                ManifestReceived(
+                    time=self._sim.now,
+                    peer=self.name,
+                    segments=manifest.segment_count,
+                    known_peers=len(manifest.peers),
+                )
+            )
         all_indices = set(range(manifest.segment_count))
         self._availability[self._seeder_name] = all_indices
         self._known_peers.add(self._seeder_name)
@@ -305,6 +350,24 @@ class Leecher(PeerBase):
         self.owned.add(index)
         self.metrics.bytes_downloaded += size
         self.metrics.segments_downloaded += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                PieceReceived(
+                    time=self._sim.now,
+                    peer=self.name,
+                    segment=index,
+                    source=src_name,
+                    size=size,
+                    wait=(
+                        self._sim.now - requested_at
+                        if requested_at is not None
+                        else -1.0
+                    ),
+                )
+            )
+        if self._metrics is not None:
+            self._metrics.counter("p2p.segments_received").inc()
+            self._metrics.counter("p2p.bytes_downloaded").inc(size)
         estimator = self._config.estimator
         if estimator is not None and requested_at is not None:
             estimator.record(self._sim.now, size)
@@ -349,6 +412,18 @@ class Leecher(PeerBase):
     def _on_player_state(
         self, old: PlayerState, new: PlayerState
     ) -> None:
+        if self._metrics is not None:
+            if new is PlayerState.STALLED:
+                self._metrics.counter("player.stalls").inc()
+            elif old is PlayerState.STALLED:
+                # The just-completed stall is the last one recorded.
+                self._metrics.counter("player.stall_seconds").inc(
+                    self.metrics.stalls[-1].duration
+                )
+            if old is PlayerState.WAITING and new is PlayerState.PLAYING:
+                self._metrics.counter("player.startups").inc()
+            if new is PlayerState.FINISHED:
+                self._metrics.counter("player.finished").inc()
         if new is PlayerState.STALLED:
             self._escalate_stalled_request()
         if new in (PlayerState.PLAYING, PlayerState.STALLED):
@@ -377,9 +452,25 @@ class Leecher(PeerBase):
         if self._config.batch_mode and self._inflight:
             return  # the paper's client: wait out the whole batch
         pool = self.desired_pool_size()
+        if pool != self._last_pool_size:
+            self._last_pool_size = pool
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    PoolResized(
+                        time=self._sim.now,
+                        peer=self.name,
+                        size=pool,
+                        buffered_playtime=self.player.buffered_playtime(),
+                        bandwidth=self.bandwidth_estimate(),
+                    )
+                )
+            if self._metrics is not None:
+                self._metrics.histogram("p2p.pool_size").observe(
+                    self._sim.now, pool, key=self.name
+                )
         if len(self._inflight) >= pool:
             return
-        candidates = self._config.selector.order(
+        candidates = self._selector.order(
             buffer.missing(),
             self.player.next_needed,
             self._availability,
@@ -416,12 +507,25 @@ class Leecher(PeerBase):
         self._inflight[index] = source
         self._request_times[index] = self._sim.now
         self._arm_timeout(index, source)
+        urgent = self._is_urgent(index)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SegmentRequested(
+                    time=self._sim.now,
+                    peer=self.name,
+                    segment=index,
+                    source=source,
+                    urgent=urgent,
+                )
+            )
+        if self._metrics is not None:
+            self._metrics.counter("p2p.requests_sent").inc()
         self.send(
             source,
             Request(
                 peer_id=self.name,
                 index=index,
-                urgent=self._is_urgent(index),
+                urgent=urgent,
             ),
         )
 
@@ -463,12 +567,35 @@ class Leecher(PeerBase):
         self._inflight[index] = alternative
         self._request_times[index] = self._sim.now
         self._arm_timeout(index, alternative)
+        urgent = self._is_urgent(index)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                RequestTimedOut(
+                    time=self._sim.now,
+                    peer=self.name,
+                    segment=index,
+                    source=source,
+                    retry_source=alternative,
+                )
+            )
+            self._tracer.emit(
+                SegmentRequested(
+                    time=self._sim.now,
+                    peer=self.name,
+                    segment=index,
+                    source=alternative,
+                    urgent=urgent,
+                )
+            )
+        if self._metrics is not None:
+            self._metrics.counter("p2p.requests_retried").inc()
+            self._metrics.counter("p2p.requests_sent").inc()
         self.send(
             alternative,
             Request(
                 peer_id=self.name,
                 index=index,
-                urgent=self._is_urgent(index),
+                urgent=urgent,
             ),
         )
 

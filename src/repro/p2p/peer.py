@@ -17,6 +17,8 @@ from ..net.engine import Simulator
 from ..net.flownet import FlowNetwork
 from ..net.tcp import TcpParams, TcpTransfer, start_tcp_transfer
 from ..net.topology import Node, StarTopology
+from ..obs.context import Observability
+from ..obs.tracer import NULL_TRACER
 from .messages import (
     Bitfield,
     Cancel,
@@ -130,11 +132,14 @@ class PeerBase:
         control: ControlPlane,
         tcp_params: TcpParams | None = None,
         upload_slots: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if upload_slots is not None and upload_slots < 1:
             raise PeerError(
                 f"upload_slots must be >= 1 or None, got {upload_slots}"
             )
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._metrics = obs.registry if obs is not None else None
         self.name = name
         self.node = node
         self._sim = sim
@@ -311,6 +316,12 @@ class PeerBase:
             route = self._topology.route(self.node, requester.node)
             self._upload_seq += 1
             upload_id = self._upload_seq
+            # Only build the label string when it will be recorded.
+            label = (
+                f"{self.name}->{src_name}#{index}"
+                if self._tracer.enabled
+                else ""
+            )
             transfer = start_tcp_transfer(
                 self._sim,
                 self._network,
@@ -320,14 +331,20 @@ class PeerBase:
                 on_complete=lambda t, uid=upload_id: (
                     self._on_upload_complete(uid, t)
                 ),
+                tracer=self._tracer,
+                label=label,
             )
             self._uploads[upload_id] = (transfer, src_name, index)
+            if self._metrics is not None:
+                self._metrics.counter("tcp.transfers_started").inc()
 
     def _on_upload_complete(
         self, upload_id: int, transfer: TcpTransfer
     ) -> None:
         _, dst_name, index = self._uploads.pop(upload_id)
         self.bytes_uploaded += transfer.size
+        if self._metrics is not None:
+            self._metrics.counter("tcp.bytes_uploaded").inc(transfer.size)
         receiver = self._control.peer(dst_name)
         if receiver is not None and receiver.alive:
             receiver.on_segment_received(

@@ -15,6 +15,7 @@ from ..net.engine import Simulator
 from ..net.flownet import FlowNetwork
 from ..net.tcp import TcpParams
 from ..net.topology import Node, StarTopology
+from ..obs.context import Observability
 from .messages import Manifest, ManifestRequest, Message
 from .peer import ControlPlane, PeerBase
 from .tracker import Tracker
@@ -54,10 +55,11 @@ class Seeder(PeerBase):
         tracker: Tracker,
         tcp_params: TcpParams | None = None,
         upload_slots: int | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         super().__init__(
             name, node, sim, network, topology, control, tcp_params,
-            upload_slots,
+            upload_slots, obs,
         )
         self._splice = splice
         self._tracker = tracker

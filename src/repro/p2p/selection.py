@@ -15,8 +15,14 @@ from __future__ import annotations
 
 import abc
 import random
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
+from ..obs.events import SelectionMade
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.engine import Simulator
+    from ..obs.tracer import Tracer
 
 
 class PieceSelector(abc.ABC):
@@ -152,6 +158,69 @@ class WindowedRarestSelector(PieceSelector):
             shuffled, key=lambda index: counts[index]
         )
         return head + window_sorted + tail
+
+
+class TracingSelector(PieceSelector):
+    """Decorator: trace another selector's decisions.
+
+    Wraps any :class:`PieceSelector` and emits a debug-severity
+    :class:`~repro.obs.events.SelectionMade` event per ordering call —
+    the leecher installs it automatically when its tracer is enabled,
+    so piece-selection decisions appear in traces without the
+    strategies themselves knowing about observability.
+
+    Args:
+        inner: the selector making the actual decisions.
+        tracer: where the events go.
+        peer: the owning leecher's name, stamped on every event.
+        sim: the clock supplying event timestamps.
+    """
+
+    #: How many leading indices of each decision the event records.
+    HEAD = 5
+
+    def __init__(
+        self,
+        inner: PieceSelector,
+        tracer: "Tracer",
+        peer: str,
+        sim: "Simulator",
+    ) -> None:
+        self._inner = inner
+        self._tracer = tracer
+        self._peer = peer
+        self._sim = sim
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def inner(self) -> PieceSelector:
+        """The wrapped selector."""
+        return self._inner
+
+    def order(
+        self,
+        missing: list[int],
+        next_needed: int | None,
+        availability: dict[str, set[int]],
+        rng: random.Random,
+    ) -> list[int]:
+        ordered = self._inner.order(
+            missing, next_needed, availability, rng
+        )
+        if self._tracer.enabled and ordered:
+            self._tracer.emit(
+                SelectionMade(
+                    time=self._sim.now,
+                    peer=self._peer,
+                    selector=self._inner.name,
+                    head=tuple(ordered[: self.HEAD]),
+                    candidates=len(ordered),
+                )
+            )
+        return ordered
 
 
 def _holder_counts(

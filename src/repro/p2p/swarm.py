@@ -18,6 +18,7 @@ from ..net.engine import Simulator
 from ..net.flownet import FlowNetwork
 from ..net.tcp import TcpParams
 from ..net.topology import StarTopology, per_link_loss
+from ..obs.context import Observability
 from ..player.metrics import StreamingMetrics
 from ..units import milliseconds
 from .churn import ChurnConfig, ChurnModel
@@ -192,14 +193,27 @@ class Swarm:
     Args:
         splice: the spliced video to stream.
         config: session parameters.
+        obs: optional observability context; when given, every layer
+            (engine, TCP, peers, players) records into its tracer and
+            metrics registry, and :meth:`run` finalizes histograms and
+            publishes the engine profile on completion.
     """
 
     SEEDER_NAME = "seeder"
 
-    def __init__(self, splice: SpliceResult, config: SwarmConfig) -> None:
+    def __init__(
+        self,
+        splice: SpliceResult,
+        config: SwarmConfig,
+        obs: Observability | None = None,
+    ) -> None:
         self._splice = splice
         self._config = config
-        self.sim = Simulator()
+        self.obs = obs
+        self.sim = Simulator(
+            tracer=obs.tracer if obs is not None else None,
+            profile=obs.profile if obs is not None else None,
+        )
         self.network = FlowNetwork(self.sim)
         self.topology = StarTopology()
         loss = per_link_loss(config.path_loss)
@@ -244,6 +258,7 @@ class Swarm:
             self.tracker,
             config.tcp_params,
             config.upload_slots,
+            obs=obs,
         )
         seeder_bandwidth = (
             config.seeder_bandwidth
@@ -268,6 +283,7 @@ class Swarm:
                     self.tracker,
                     config.tcp_params,
                     config.upload_slots,
+                    obs=obs,
                 )
             )
         master = random.Random(config.seed)
@@ -316,6 +332,7 @@ class Swarm:
                 ),
                 config.tcp_params,
                 config.upload_slots,
+                obs=obs,
             )
             self.leechers.append(leecher)
             join_at = i * config.join_stagger
@@ -332,6 +349,25 @@ class Swarm:
             self._departed.append(leecher.name)
             leecher.leave()
 
+    def _finalize_observability(self) -> None:
+        """Close out the run's metrics: histograms, profile, totals."""
+        assert self.obs is not None
+        registry = self.obs.registry
+        for histogram in registry.histograms().values():
+            histogram.finalize(self.sim.now)
+        if self.obs.profile is not None:
+            self.obs.profile.publish(registry)
+        registry.gauge("swarm.control_messages").set(
+            self.control.messages_sent
+        )
+        registry.gauge("swarm.seeder_bytes_uploaded").set(
+            self.seeder.bytes_uploaded
+        )
+        registry.gauge("swarm.peer_bytes_uploaded").set(
+            sum(leecher.bytes_uploaded for leecher in self.leechers)
+        )
+        registry.gauge("swarm.end_time").set(self.sim.now)
+
     def run(self) -> SwarmResult:
         """Run the session to completion (or the safety cap).
 
@@ -339,6 +375,8 @@ class Swarm:
             A :class:`SwarmResult` with every peer's metrics.
         """
         self.sim.run(until=self._config.max_time)
+        if self.obs is not None:
+            self._finalize_observability()
         return SwarmResult(
             metrics={
                 leecher.name: leecher.metrics for leecher in self.leechers

@@ -15,6 +15,13 @@ from typing import Callable
 
 from ..errors import PlaybackError
 from ..net.engine import EventHandle, Simulator
+from ..obs.events import (
+    PlaybackFinished,
+    PlaybackStarted,
+    StallEnded,
+    StallStarted,
+)
+from ..obs.tracer import NULL_TRACER, Tracer
 from .buffer import PlaybackBuffer
 from .metrics import StallEvent, StreamingMetrics
 
@@ -44,6 +51,9 @@ class Player:
         preroll_segments: contiguous segments required before playback
             begins.  The paper's client starts on the first segment
             (the default, 1); HLS players typically pre-roll 3.
+        tracer: where playback lifecycle events (PlaybackStarted,
+            StallStarted/Ended, PlaybackFinished) go; disabled default.
+        peer: the peer name stamped on every emitted event.
     """
 
     def __init__(
@@ -55,6 +65,8 @@ class Player:
         ) = None,
         metrics: StreamingMetrics | None = None,
         preroll_segments: int = 1,
+        tracer: Tracer = NULL_TRACER,
+        peer: str = "",
     ) -> None:
         if preroll_segments < 1:
             raise PlaybackError(
@@ -70,6 +82,8 @@ class Player:
             if metrics is not None
             else StreamingMetrics(session_start=sim.now)
         )
+        self._tracer = tracer
+        self._peer = peer
         self._current: int | None = None  # segment at the playhead
         self._segment_started_at = 0.0
         self._boundary_event: EventHandle | None = None
@@ -109,17 +123,34 @@ class Player:
             and self._buffer.contiguous_through(0) >= self._preroll
         ):
             self._metrics.playback_start = self._sim.now
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    PlaybackStarted(
+                        time=self._sim.now,
+                        peer=self._peer,
+                        startup_time=self._sim.now
+                        - self._metrics.session_start,
+                    )
+                )
             self._start_segment(0)
         elif self._state is PlayerState.STALLED and index == self._waiting_for:
             assert self._stall_started_at is not None
-            self._metrics.stalls.append(
-                StallEvent(
-                    start=self._stall_started_at,
-                    end=self._sim.now,
-                    next_segment=index,
-                )
+            stall = StallEvent(
+                start=self._stall_started_at,
+                end=self._sim.now,
+                next_segment=index,
             )
+            self._metrics.stalls.append(stall)
             self._stall_started_at = None
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    StallEnded(
+                        time=self._sim.now,
+                        peer=self._peer,
+                        segment=index,
+                        duration=stall.duration,
+                    )
+                )
             self._start_segment(index)
 
     def buffered_playtime(self) -> float:
@@ -160,12 +191,29 @@ class Player:
         nxt = index + 1
         if nxt >= self._buffer.segment_count:
             self._metrics.playback_end = self._sim.now
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    PlaybackFinished(
+                        time=self._sim.now,
+                        peer=self._peer,
+                        stalls=len(self._metrics.stalls),
+                        total_stall_duration=(
+                            self._metrics.total_stall_duration
+                        ),
+                    )
+                )
             self._transition(PlayerState.FINISHED)
         elif self._buffer.has(nxt):
             self._start_segment(nxt)
         else:
             self._waiting_for = nxt
             self._stall_started_at = self._sim.now
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    StallStarted(
+                        time=self._sim.now, peer=self._peer, segment=nxt
+                    )
+                )
             self._transition(PlayerState.STALLED)
 
     def _transition(self, new_state: PlayerState) -> None:

@@ -18,6 +18,25 @@ class TestParser:
         args = build_parser().parse_args(["fig2", "--quick"])
         assert args.quick
 
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_reproduce_trace_flags(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--figure", "2", "--trace", "/tmp/t.jsonl"]
+        )
+        assert args.figure == "2"
+        assert args.trace == "/tmp/t.jsonl"
+
+    def test_reproduce_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--figure", "9"])
+
 
 class TestCommands:
     def test_overhead(self, capsys):
@@ -65,3 +84,92 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Adaptive pooling" in out
         assert "128 kB/s" in out
+
+
+class TestTraceCommand:
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+
+    def test_corrupt_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("this is not json\n")
+        code = main(["trace", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupt trace" in err
+
+    def test_unknown_event_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "unknown.jsonl"
+        path.write_text(
+            '{"event": "NoSuchEvent", "time": 0.0, '
+            '"category": "x", "severity": "info"}\n'
+        )
+        code = main(["trace", str(path)])
+        assert code == 2
+        assert "NoSuchEvent" in capsys.readouterr().err
+
+    def test_summarizes_a_real_trace(self, capsys, tmp_path):
+        from repro.obs import (
+            EventTracer,
+            PeerJoined,
+            PlaybackStarted,
+            StallEnded,
+            StallStarted,
+            dump_jsonl,
+        )
+
+        tracer = EventTracer()
+        tracer.emit(PeerJoined(time=0.0, peer="peer-1"))
+        tracer.emit(PlaybackStarted(
+            time=2.0, peer="peer-1", startup_time=2.0
+        ))
+        tracer.emit(StallStarted(time=5.0, peer="peer-1", segment=3))
+        tracer.emit(StallEnded(
+            time=6.5, peer="peer-1", segment=3, duration=1.5
+        ))
+        path = tmp_path / "run.jsonl"
+        dump_jsonl(tracer.events(), str(path))
+
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "peer-1" in out
+        assert "Events by category" in out
+        assert "StallStarted x1" in out
+
+    @pytest.mark.slow
+    def test_reproduce_figure_trace_round_trip(self, capsys, tmp_path):
+        """The acceptance flow: reproduce --figure 2 --trace, then
+        summarize the trace with the trace subcommand."""
+        path = tmp_path / "fig2.jsonl"
+        assert (
+            main(
+                [
+                    "reproduce",
+                    "--quick",
+                    "--figure",
+                    "2",
+                    "--trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "traced representative run" in out
+        assert path.exists()
+
+        from repro.obs import load_jsonl
+
+        events = load_jsonl(str(path))
+        layers = {event.category for event in events}
+        assert {"engine", "tcp", "player"} <= layers
+        assert "leecher" in layers or "swarm" in layers
+
+        assert main(["trace", str(path)]) == 0
+        summary = capsys.readouterr().out
+        assert "peer-1" in summary
+        assert "finished" in summary or "cut off" in summary

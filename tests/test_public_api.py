@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.bwest",
     "repro.testbed",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
