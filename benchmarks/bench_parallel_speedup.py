@@ -1,0 +1,94 @@
+"""Serial vs parallel sweep throughput for the figure-2 cell grid.
+
+Runs the same sweep twice — ``jobs=1`` (pure in-process) and
+``jobs=default_jobs()`` (process pool) — records wall-clock seconds and
+simulated events/sec for both, asserts the two executions produced
+identical ``CellResult``s, and persists the comparison under
+``benchmarks/results/``.
+
+The speedup column is only meaningful on multi-core hardware: with a
+single available core the pool adds fork/pickle overhead and no
+parallelism, so the artifact records ``cpu_count`` alongside the
+numbers rather than asserting a ratio the machine cannot produce.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.config import ExperimentConfig, make_paper_video
+from repro.parallel import (
+    SplicerSpec,
+    SweepExecutor,
+    cell_for,
+    default_jobs,
+)
+
+#: Reduced fig2-shaped grid: 2 techniques x 3 bandwidths x 2 seeds.
+_BANDWIDTHS_KB = (128, 256, 512)
+_SPLICERS = (SplicerSpec("gop"), SplicerSpec("duration", 4.0))
+
+
+def _cells(config, video):
+    return [
+        cell_for(
+            spec,
+            bandwidth,
+            config,
+            video=video,
+            label=f"bench/{spec.technique} @ {bandwidth} kB/s",
+        )
+        for spec in _SPLICERS
+        for bandwidth in _BANDWIDTHS_KB
+    ]
+
+
+def _timed_sweep(jobs, cells):
+    executor = SweepExecutor(jobs=jobs)
+    start = time.perf_counter()
+    results = executor.run_cells(cells)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, executor.stats
+
+
+def test_parallel_speedup(benchmark, emit):
+    config = ExperimentConfig(n_leechers=9, seeds=(7, 11))
+    video = make_paper_video(config)
+    cells = _cells(config, video)
+    jobs = max(2, default_jobs())
+
+    serial_results, serial_s, serial_stats = _timed_sweep(1, cells)
+
+    def _parallel():
+        return _timed_sweep(jobs, cells)
+
+    parallel_results, parallel_s, parallel_stats = benchmark.pedantic(
+        _parallel, rounds=1, iterations=1
+    )
+
+    # The whole point of the executor: worker count never changes the
+    # numbers.
+    assert parallel_results == serial_results
+    assert parallel_stats.events_fired == serial_stats.events_fired
+
+    speedup = serial_s / parallel_s
+    lines = [
+        "parallel sweep speedup (fig2-shaped grid, "
+        f"{len(cells)} cells x {len(config.seeds)} seeds)",
+        f"cpu_count:          {os.cpu_count()}",
+        f"usable cores:       {len(os.sched_getaffinity(0))}",
+        f"worker processes:   {jobs}",
+        f"simulated events:   {serial_stats.events_fired}",
+        f"serial   (jobs=1):  {serial_s:8.2f} s  "
+        f"{serial_stats.events_fired / serial_s:10.0f} events/s",
+        f"parallel (jobs={jobs}):  {parallel_s:8.2f} s  "
+        f"{parallel_stats.events_fired / parallel_s:10.0f} events/s",
+        f"speedup:            {speedup:8.2f}x",
+        "results identical:  yes",
+    ]
+    emit("\n".join(lines))
+
+    # Sanity floor, not a speedup assertion: the pooled run must stay
+    # within a small constant factor of serial even on one core.
+    assert parallel_s < serial_s * 3

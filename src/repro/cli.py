@@ -101,12 +101,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate only this figure",
     )
     reproduce.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the sweep (default: auto-detect "
+            "from the available cores / REPRO_JOBS; 1 = serial "
+            "in-process)"
+        ),
+    )
+    reproduce.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
         help=(
             "also run one fully-traced representative swarm and write "
-            "its JSONL trace here (inspect with 'repro trace PATH')"
+            "its JSONL trace here (inspect with 'repro trace PATH'); "
+            "the traced run always executes in-process regardless of "
+            "--jobs so its trace stays on a single simulated clock"
         ),
     )
 
@@ -198,12 +211,18 @@ def _cmd_overhead() -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.reproduce import reproduce_all
+    from .parallel import SweepExecutor
 
     config = (
         ExperimentConfig(n_leechers=9, seeds=(7,))
         if args.quick
         else ExperimentConfig()
     )
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    executor = SweepExecutor(jobs=args.jobs)
     if args.trace is not None:
         # Fail on an unwritable path now, not after the whole sweep.
         try:
@@ -216,13 +235,17 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.figure is not None:
         module, precision = _FIGURES[f"fig{args.figure}"]
         if args.quick:
-            result = module.run(config, bandwidths_kb=(128, 512))
+            result = module.run(
+                config, bandwidths_kb=(128, 512), executor=executor
+            )
         else:
-            result = module.run(config)
+            result = module.run(config, executor=executor)
         text = format_figure(result, precision=precision)
     else:
         report = reproduce_all(
-            config, include_ablations=not args.quick
+            config,
+            include_ablations=not args.quick,
+            executor=executor,
         )
         text = report.render()
     print(text)

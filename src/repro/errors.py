@@ -76,5 +76,13 @@ class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
 
 
+class SweepError(ExperimentError):
+    """One or more runs of a parallel sweep failed.
+
+    The message names every failing (cell, seed) so a crashed worker
+    is attributable without re-running the sweep.
+    """
+
+
 class TraceError(ReproError):
     """A trace, metric, or exporter was configured or parsed incorrectly."""

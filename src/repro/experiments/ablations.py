@@ -6,28 +6,29 @@ adaptive pooling helps under churn (A2), how much the duration
 splicing overhead costs in bytes (A3), how splicing behaves under
 variable bandwidth (A4, the paper's future work), and what the
 duration-adaptive splicer from Section VII's future work buys (A5).
+
+Every swarm-running ablation routes its independent runs through a
+:class:`~repro.parallel.SweepExecutor` (serial by default), so the
+consolidated reproduction can fan them out across worker processes.
 """
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass, replace
 
 from ..core.segment_size import AdaptiveDurationPlanner
 from ..core.segments import SpliceResult
 from ..core.splicer import DurationSplicer, GopSplicer
-from ..errors import ExperimentError
 from ..p2p.churn import ChurnConfig
-from ..p2p.swarm import Swarm
+from ..parallel import SplicerSpec, SquareWave, SweepExecutor, cell_for
 from ..units import kB_per_s
 from ..video.bitstream import Bitstream
 from .config import (
     PAPER_BANDWIDTHS_KB,
     ExperimentConfig,
     make_paper_video,
-    make_swarm_config,
 )
-from .runner import CellResult, FigureResult, run_cell
+from .runner import CellResult, FigureResult
 
 #: Durations swept by the segment-size ablation, seconds.
 A1_DURATIONS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
@@ -38,6 +39,7 @@ def run_segment_size_sweep(
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = (128, 512),
     durations: tuple[float, ...] = A1_DURATIONS,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A1 — stall count across a wide range of segment durations.
 
@@ -46,13 +48,24 @@ def run_segment_size_sweep(
     locates the sweet spot per bandwidth.
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    series: dict[str, list[CellResult]] = {}
-    for duration in durations:
-        splice = DurationSplicer(duration).splice(stream)
-        series[splice.technique] = [
-            run_cell(splice, bw, cfg) for bw in bandwidths_kb
-        ]
+    sweep = executor or SweepExecutor(jobs=1)
+    specs = [SplicerSpec("duration", d) for d in durations]
+    cells = [
+        cell_for(
+            spec,
+            bw,
+            cfg,
+            video=video,
+            label=f"A1/{spec.technique} @ {bw} kB/s",
+        )
+        for spec in specs
+        for bw in bandwidths_kb
+    ]
+    results = iter(sweep.run_cells(cells))
+    series = {
+        spec.technique: [next(results) for _ in bandwidths_kb]
+        for spec in specs
+    }
     return FigureResult(
         figure="A1",
         title="Stalls across segment durations",
@@ -67,6 +80,7 @@ def run_churn(
     bandwidth_kb: int = 256,
     churn_fractions: tuple[float, ...] = (0.0, 0.25, 0.5),
     mean_lifetime: float = 60.0,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A2 — stalls under increasing peer departure rates.
 
@@ -75,19 +89,29 @@ def run_churn(
     bandwidth column of each series is reused for the fraction.
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    splice = DurationSplicer(4.0).splice(stream)
-    series: dict[str, list[CellResult]] = {}
+    sweep = executor or SweepExecutor(jobs=1)
+    splicer = SplicerSpec("duration", 4.0)
+    cells = []
     for fraction in churn_fractions:
         churn = (
             ChurnConfig(mean_lifetime=mean_lifetime, fraction=fraction)
             if fraction > 0
             else None
         )
-        churn_cfg = replace(cfg, churn=churn)
-        series[f"churn {int(fraction * 100)}%"] = [
-            run_cell(splice, bandwidth_kb, churn_cfg)
-        ]
+        cells.append(
+            cell_for(
+                splicer,
+                bandwidth_kb,
+                replace(cfg, churn=churn),
+                video=video,
+                label=f"A2/churn {int(fraction * 100)}%",
+            )
+        )
+    results = sweep.run_cells(cells)
+    series = {
+        f"churn {int(fraction * 100)}%": [cell]
+        for fraction, cell in zip(churn_fractions, results)
+    }
     return FigureResult(
         figure="A2",
         title=f"Stalls under churn at {bandwidth_kb} kB/s",
@@ -148,6 +172,7 @@ def run_variable_bandwidth(
     base_kb: int = 256,
     amplitude: float = 0.5,
     period: float = 20.0,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A4 — splicing under oscillating bandwidth (paper future work).
 
@@ -156,43 +181,41 @@ def run_variable_bandwidth(
     given period, changing mid-run through the flow network so active
     transfers re-share immediately.
     """
-    if not 0.0 < amplitude < 1.0:
-        raise ExperimentError(f"amplitude must be in (0, 1): {amplitude}")
-    if period <= 0:
-        raise ExperimentError(f"period must be positive: {period}")
+    wave = SquareWave(amplitude=amplitude, period=period)
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    series: dict[str, list[CellResult]] = {}
-    for splicer in (
-        GopSplicer(),
-        DurationSplicer(2.0),
-        DurationSplicer(4.0),
-        DurationSplicer(8.0),
-    ):
-        splice = splicer.splice(stream)
-        stalls, stall_durations, startups = [], [], []
-        for seed in cfg.seeds:
-            swarm = Swarm(
-                splice, make_swarm_config(base_kb, seed, cfg)
-            )
-            _schedule_square_wave(
-                swarm, kB_per_s(base_kb), amplitude, period
-            )
-            result = swarm.run()
-            stalls.append(result.mean_stall_count())
-            stall_durations.append(result.mean_stall_duration())
-            startups.append(result.mean_startup_time())
-        series[splice.technique] = [
-            CellResult(
-                bandwidth_kb=base_kb,
-                stall_count=statistics.fmean(stalls),
-                stall_duration=statistics.fmean(stall_durations),
-                startup_time=statistics.fmean(startups),
+    sweep = executor or SweepExecutor(jobs=1)
+    specs = [
+        SplicerSpec("gop"),
+        SplicerSpec("duration", 2.0),
+        SplicerSpec("duration", 4.0),
+        SplicerSpec("duration", 8.0),
+    ]
+    cells = [
+        cell_for(
+            spec,
+            base_kb,
+            cfg,
+            video=video,
+            square_wave=wave,
+            label=f"A4/{spec.technique}",
+        )
+        for spec in specs
+    ]
+    results = sweep.run_cells(cells)
+    series = {
+        # The byte/completion columns are meaningless under an
+        # oscillating-bandwidth run; zero them as the original
+        # ablation reported.
+        spec.technique: [
+            replace(
+                cell,
                 seeder_bytes=0.0,
                 peer_bytes=0.0,
                 finished_fraction=1.0,
             )
         ]
+        for spec, cell in zip(specs, results)
+    }
     return FigureResult(
         figure="A4",
         title=(
@@ -204,30 +227,12 @@ def run_variable_bandwidth(
     )
 
 
-def _schedule_square_wave(
-    swarm: Swarm, base: float, amplitude: float, period: float
-) -> None:
-    """Toggle every leecher's bandwidth between the two wave levels."""
-    low = base * (1.0 - amplitude)
-    high = base * (1.0 + amplitude)
-
-    def set_level(level: float, next_level: float) -> None:
-        for leecher in swarm.leechers:
-            swarm.topology.set_node_bandwidth(
-                swarm.network, leecher.node, level
-            )
-        swarm.sim.schedule(
-            period / 2.0, set_level, next_level, level
-        )
-
-    swarm.sim.schedule(period / 2.0, set_level, low, high)
-
-
 def run_preroll(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidth_kb: int = 256,
     prerolls: tuple[int, ...] = (1, 2, 3),
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A7 — pre-roll buffering: trading startup for stalls.
 
@@ -235,31 +240,31 @@ def run_preroll(
     pre-roll several.  Measures both observables per pre-roll depth.
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    splice = DurationSplicer(4.0).splice(stream)
-    series: dict[str, list[CellResult]] = {}
-    for preroll in prerolls:
-        stalls, durations, startups = [], [], []
-        for seed in cfg.seeds:
-            swarm_config = replace(
-                make_swarm_config(bandwidth_kb, seed, cfg),
-                preroll_segments=preroll,
-            )
-            result = Swarm(splice, swarm_config).run()
-            stalls.append(result.mean_stall_count())
-            durations.append(result.mean_stall_duration())
-            startups.append(result.mean_startup_time())
-        series[f"preroll {preroll}"] = [
-            CellResult(
-                bandwidth_kb=bandwidth_kb,
-                stall_count=statistics.fmean(stalls),
-                stall_duration=statistics.fmean(durations),
-                startup_time=statistics.fmean(startups),
+    sweep = executor or SweepExecutor(jobs=1)
+    splicer = SplicerSpec("duration", 4.0)
+    cells = [
+        cell_for(
+            splicer,
+            bandwidth_kb,
+            cfg,
+            video=video,
+            preroll_segments=preroll,
+            label=f"A7/preroll {preroll}",
+        )
+        for preroll in prerolls
+    ]
+    results = sweep.run_cells(cells)
+    series = {
+        f"preroll {preroll}": [
+            replace(
+                cell,
                 seeder_bytes=0.0,
                 peer_bytes=0.0,
                 finished_fraction=1.0,
             )
         ]
+        for preroll, cell in zip(prerolls, results)
+    }
     return FigureResult(
         figure="A7",
         title=f"Pre-roll depth at {bandwidth_kb} kB/s",
@@ -273,6 +278,7 @@ def run_swarm_scaling(
     video: Bitstream | None = None,
     bandwidth_kb: int = 256,
     swarm_sizes: tuple[int, ...] = (5, 10, 19, 38),
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A8 — scalability: does P2P shed load from the origin?
 
@@ -282,14 +288,23 @@ def run_swarm_scaling(
     ``peer_bytes`` in the cells).
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    splice = DurationSplicer(4.0).splice(stream)
-    series: dict[str, list[CellResult]] = {}
-    for size in swarm_sizes:
-        scaled = replace(cfg, n_leechers=size)
-        series[f"{size} peers"] = [
-            run_cell(splice, bandwidth_kb, scaled)
-        ]
+    sweep = executor or SweepExecutor(jobs=1)
+    splicer = SplicerSpec("duration", 4.0)
+    cells = [
+        cell_for(
+            splicer,
+            bandwidth_kb,
+            replace(cfg, n_leechers=size),
+            video=video,
+            label=f"A8/{size} peers",
+        )
+        for size in swarm_sizes
+    ]
+    results = sweep.run_cells(cells)
+    series = {
+        f"{size} peers": [cell]
+        for size, cell in zip(swarm_sizes, results)
+    }
     return FigureResult(
         figure="A8",
         title=f"Swarm scaling at {bandwidth_kb} kB/s",
@@ -302,6 +317,7 @@ def run_adaptive_splicing(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """A5 — duration-adaptive splicing (paper future work).
 
@@ -310,22 +326,38 @@ def run_adaptive_splicing(
     splicing.
     """
     cfg = config or ExperimentConfig()
+    sweep = executor or SweepExecutor(jobs=1)
     stream = video if video is not None else make_paper_video(cfg)
     planner = AdaptiveDurationPlanner(bitrate=stream.bitrate)
-    adaptive_cells = []
-    for bw in bandwidths_kb:
-        duration = planner.pick(kB_per_s(bw)).duration
-        splice = DurationSplicer(duration).splice(stream)
-        adaptive_cells.append(run_cell(splice, bw, cfg))
-    fixed = DurationSplicer(4.0).splice(stream)
+    cells = [
+        cell_for(
+            SplicerSpec(
+                "duration", planner.pick(kB_per_s(bw)).duration
+            ),
+            bw,
+            cfg,
+            video=video,
+            label=f"A5/adaptive @ {bw} kB/s",
+        )
+        for bw in bandwidths_kb
+    ] + [
+        cell_for(
+            SplicerSpec("duration", 4.0),
+            bw,
+            cfg,
+            video=video,
+            label=f"A5/fixed 4s @ {bw} kB/s",
+        )
+        for bw in bandwidths_kb
+    ]
+    results = sweep.run_cells(cells)
+    split = len(bandwidths_kb)
     return FigureResult(
         figure="A5",
         title="Adaptive segment duration vs fixed 4 s",
         metric="stall_count",
         series={
-            "adaptive duration": adaptive_cells,
-            "fixed 4s": [
-                run_cell(fixed, bw, cfg) for bw in bandwidths_kb
-            ],
+            "adaptive duration": results[:split],
+            "fixed 4s": results[split:],
         },
     )

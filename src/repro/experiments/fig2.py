@@ -12,19 +12,25 @@ series decrease with bandwidth.
 
 from __future__ import annotations
 
-from ..core.splicer import DurationSplicer, GopSplicer, Splicer
+from ..core.splicer import Splicer
 from ..obs.context import Observability
+from ..parallel import SplicerSpec, SweepExecutor, cell_for
 from ..video.bitstream import Bitstream
 from .config import PAPER_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
-from .config import make_paper_video
-from .runner import FigureResult, run_cell
+from .runner import FigureResult
+
+
+def splicer_specs() -> list[SplicerSpec]:
+    """Specs of the four splicing techniques of Figs. 2 and 3."""
+    return [SplicerSpec("gop")] + [
+        SplicerSpec("duration", duration)
+        for duration in PAPER_DURATIONS
+    ]
 
 
 def splicers() -> list[Splicer]:
     """The four splicing techniques of Figs. 2 and 3."""
-    return [GopSplicer()] + [
-        DurationSplicer(duration) for duration in PAPER_DURATIONS
-    ]
+    return [spec.build() for spec in splicer_specs()]
 
 
 def run(
@@ -32,6 +38,7 @@ def run(
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """Reproduce Figure 2.
 
@@ -41,18 +48,30 @@ def run(
         bandwidths_kb: x-axis points in kB/s.
         obs: optional observability context shared by every cell
             (metrics-only recommended; see :func:`~.runner.run_cell`).
+        executor: sweep executor; ``None`` runs serially in-process.
 
     Returns:
         Stall-count series per splicing technique.
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    series = {}
-    for splicer in splicers():
-        splice = splicer.splice(stream)
-        series[splice.technique] = [
-            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
-        ]
+    sweep = executor or SweepExecutor(jobs=1)
+    specs = splicer_specs()
+    cells = [
+        cell_for(
+            spec,
+            bw,
+            cfg,
+            video=video,
+            label=f"fig2/{spec.technique} @ {bw} kB/s",
+        )
+        for spec in specs
+        for bw in bandwidths_kb
+    ]
+    results = iter(sweep.run_cells(cells, obs=obs))
+    series = {
+        spec.technique: [next(results) for _ in bandwidths_kb]
+        for spec in specs
+    }
     return FigureResult(
         figure="fig2",
         title="Total number of stalls for different bandwidths",

@@ -9,10 +9,11 @@ stall time even when their stall *count* is higher.
 from __future__ import annotations
 
 from ..obs.context import Observability
+from ..parallel import SweepExecutor, cell_for
 from ..video.bitstream import Bitstream
-from .config import PAPER_BANDWIDTHS_KB, ExperimentConfig, make_paper_video
-from .fig2 import splicers
-from .runner import FigureResult, run_cell
+from .config import PAPER_BANDWIDTHS_KB, ExperimentConfig
+from .fig2 import splicer_specs
+from .runner import FigureResult
 
 
 def run(
@@ -20,16 +21,28 @@ def run(
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """Reproduce Figure 3 (see module docstring)."""
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    series = {}
-    for splicer in splicers():
-        splice = splicer.splice(stream)
-        series[splice.technique] = [
-            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
-        ]
+    sweep = executor or SweepExecutor(jobs=1)
+    specs = splicer_specs()
+    cells = [
+        cell_for(
+            spec,
+            bw,
+            cfg,
+            video=video,
+            label=f"fig3/{spec.technique} @ {bw} kB/s",
+        )
+        for spec in specs
+        for bw in bandwidths_kb
+    ]
+    results = iter(sweep.run_cells(cells, obs=obs))
+    series = {
+        spec.technique: [next(results) for _ in bandwidths_kb]
+        for spec in specs
+    }
     return FigureResult(
         figure="fig3",
         title="Total stall duration for different bandwidths",

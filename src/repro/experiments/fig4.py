@@ -11,12 +11,11 @@ bandwidth network" — and every series falls as bandwidth grows.
 
 from __future__ import annotations
 
-from ..core.splicer import DurationSplicer
 from ..obs.context import Observability
+from ..parallel import SplicerSpec, SweepExecutor, cell_for
 from ..video.bitstream import Bitstream
 from .config import FIG4_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
-from .config import make_paper_video
-from .runner import FigureResult, run_cell
+from .runner import FigureResult
 
 
 def run(
@@ -24,16 +23,31 @@ def run(
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = FIG4_BANDWIDTHS_KB,
     obs: Observability | None = None,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """Reproduce Figure 4 (see module docstring)."""
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    series = {}
-    for duration in PAPER_DURATIONS:
-        splice = DurationSplicer(duration).splice(stream)
-        series[f"{int(duration)} sec segment"] = [
-            run_cell(splice, bw, cfg, obs=obs) for bw in bandwidths_kb
-        ]
+    sweep = executor or SweepExecutor(jobs=1)
+    labels = {
+        duration: f"{int(duration)} sec segment"
+        for duration in PAPER_DURATIONS
+    }
+    cells = [
+        cell_for(
+            SplicerSpec("duration", duration),
+            bw,
+            cfg,
+            video=video,
+            label=f"fig4/{labels[duration]} @ {bw} kB/s",
+        )
+        for duration in PAPER_DURATIONS
+        for bw in bandwidths_kb
+    ]
+    results = iter(sweep.run_cells(cells, obs=obs))
+    series = {
+        labels[duration]: [next(results) for _ in bandwidths_kb]
+        for duration in PAPER_DURATIONS
+    }
     return FigureResult(
         figure="fig4",
         title="Startup time for different bandwidths",

@@ -13,16 +13,15 @@ high bandwidth large pools are harmless.
 from __future__ import annotations
 
 from ..core.policy import AdaptivePoolPolicy, DownloadPolicy, FixedPoolPolicy
-from ..core.splicer import DurationSplicer
+from ..obs.context import Observability
+from ..parallel import SplicerSpec, SweepExecutor, cell_for
 from ..video.bitstream import Bitstream
 from .config import (
     PAPER_BANDWIDTHS_KB,
     PAPER_POOL_SIZES,
     ExperimentConfig,
-    make_paper_video,
 )
-from ..obs.context import Observability
-from .runner import FigureResult, run_cell
+from .runner import FigureResult
 
 #: Segment duration used in the pooling experiment, seconds.
 FIG5_SEGMENT_DURATION = 4.0
@@ -40,23 +39,36 @@ def run(
     video: Bitstream | None = None,
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
+    executor: SweepExecutor | None = None,
 ) -> FigureResult:
     """Reproduce Figure 5 (see module docstring)."""
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
-    splice = DurationSplicer(FIG5_SEGMENT_DURATION).splice(stream)
+    sweep = executor or SweepExecutor(jobs=1)
+    splicer = SplicerSpec("duration", FIG5_SEGMENT_DURATION)
     labels = {
         "adaptive": "Adaptive pooling",
         "fixed-2": "Pool size: 2",
         "fixed-4": "Pool size: 4",
         "fixed-8": "Pool size: 8",
     }
-    series = {}
-    for policy in policies():
-        series[labels[policy.name]] = [
-            run_cell(splice, bw, cfg, policy=policy, obs=obs)
-            for bw in bandwidths_kb
-        ]
+    pool_policies = policies()
+    cells = [
+        cell_for(
+            splicer,
+            bw,
+            cfg,
+            policy=policy,
+            video=video,
+            label=f"fig5/{labels[policy.name]} @ {bw} kB/s",
+        )
+        for policy in pool_policies
+        for bw in bandwidths_kb
+    ]
+    results = iter(sweep.run_cells(cells, obs=obs))
+    series = {
+        labels[policy.name]: [next(results) for _ in bandwidths_kb]
+        for policy in pool_policies
+    }
     return FigureResult(
         figure="fig5",
         title="Total number of stalls for different pool sizes",

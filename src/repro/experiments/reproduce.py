@@ -3,6 +3,11 @@
 ``reproduce_all`` regenerates every paper figure plus the ablations
 and renders them as a single markdown-ish document — the programmatic
 equivalent of EXPERIMENTS.md's measured columns.
+
+Every figure and swarm-running ablation goes through one shared
+:class:`~repro.parallel.SweepExecutor`, so ``jobs>1`` fans the grid's
+independent runs out over worker processes while producing numerically
+identical tables (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..parallel import SweepExecutor, VideoSpec, cached_video
 from ..video.bitstream import Bitstream
 from . import fig2, fig3, fig4, fig5
 from .ablations import (
@@ -20,7 +26,7 @@ from .ablations import (
     run_swarm_scaling,
     run_variable_bandwidth,
 )
-from .config import ExperimentConfig, make_paper_video
+from .config import ExperimentConfig
 from .report import format_figure
 from .runner import FigureResult
 
@@ -33,18 +39,38 @@ class ReproductionReport:
         figures: the regenerated figures, in paper order.
         overhead_table: the A3 byte-overhead rows, pre-rendered.
         elapsed: wall-clock seconds the run took.
+        events_fired: simulator callbacks executed across every run.
+        jobs: worker processes the sweep used.
     """
 
     figures: tuple[FigureResult, ...]
     overhead_table: str
     elapsed: float
+    events_fired: int = 0
+    jobs: int = 1
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulated events per wall-clock second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.events_fired / self.elapsed
 
     def render(self) -> str:
         """Render the whole report as text."""
+        header = f"(regenerated in {self.elapsed:.0f}s wall-clock"
+        if self.events_fired:
+            header += (
+                f" with {self.jobs} worker"
+                f"{'' if self.jobs == 1 else 's'} — "
+                f"{self.events_fired} simulated events, "
+                f"{self.events_per_sec:.0f} events/s"
+            )
+        header += ")"
         parts = [
             "# Reproduction report",
             "",
-            f"(regenerated in {self.elapsed:.0f}s wall-clock)",
+            header,
             "",
             "## Splicing overhead (A3)",
             "",
@@ -63,6 +89,8 @@ def reproduce_all(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
     include_ablations: bool = True,
+    jobs: int | None = 1,
+    executor: SweepExecutor | None = None,
 ) -> ReproductionReport:
     """Regenerate every figure (and optionally every ablation).
 
@@ -70,28 +98,40 @@ def reproduce_all(
         config: shared experiment parameters (the paper's defaults).
         video: pre-encoded video; encoded fresh when omitted.
         include_ablations: also run A1/A2/A4/A7/A8 (slower).
+        jobs: sweep worker processes; ``1`` (the default) runs fully
+            in-process, ``None`` auto-detects the core count.
+        executor: pre-built executor (overrides ``jobs``); its
+            cumulative stats feed the report header.
 
     Returns:
         The consolidated :class:`ReproductionReport`.
     """
     cfg = config or ExperimentConfig()
-    stream = video if video is not None else make_paper_video(cfg)
+    sweep = executor if executor is not None else SweepExecutor(jobs=jobs)
+    # The overhead table needs the bitstream in-process; going through
+    # the cache shares the encode with this process's sweep runs.
+    stream = (
+        video
+        if video is not None
+        else cached_video(VideoSpec(seed=cfg.video_seed))
+    )
     started = time.monotonic()
+    events_before = sweep.stats.events_fired
 
     figures: list[FigureResult] = [
-        fig2.run(cfg, video=stream),
-        fig3.run(cfg, video=stream),
-        fig4.run(cfg, video=stream),
-        fig5.run(cfg, video=stream),
+        fig2.run(cfg, video=video, executor=sweep),
+        fig3.run(cfg, video=video, executor=sweep),
+        fig4.run(cfg, video=video, executor=sweep),
+        fig5.run(cfg, video=video, executor=sweep),
     ]
     if include_ablations:
         figures.extend(
             [
-                run_segment_size_sweep(cfg, video=stream),
-                run_churn(cfg, video=stream),
-                run_variable_bandwidth(cfg, video=stream),
-                run_preroll(cfg, video=stream),
-                run_swarm_scaling(cfg, video=stream),
+                run_segment_size_sweep(cfg, video=video, executor=sweep),
+                run_churn(cfg, video=video, executor=sweep),
+                run_variable_bandwidth(cfg, video=video, executor=sweep),
+                run_preroll(cfg, video=video, executor=sweep),
+                run_swarm_scaling(cfg, video=video, executor=sweep),
             ]
         )
 
@@ -110,4 +150,6 @@ def reproduce_all(
         figures=tuple(figures),
         overhead_table="\n".join(lines),
         elapsed=time.monotonic() - started,
+        events_fired=sweep.stats.events_fired - events_before,
+        jobs=sweep.jobs,
     )

@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled", "_sim")
 
     def __init__(
         self,
@@ -30,16 +30,29 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        sim: "Simulator | None" = None,
     ) -> None:
         self.time = time
         self._seq = seq
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        # Keep the owning simulator's live-event count exact: the
+        # handle leaves the count the moment it is cancelled, not when
+        # the stale heap entry is eventually popped.  ``_sim`` is None
+        # once the event has been popped, so a late cancel (after the
+        # callback already fired) cannot corrupt the count.
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._live -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -80,6 +93,7 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._queue: list[EventHandle] = []
+        self._live = 0
         self._running = False
         self._tracer = tracer
         self.profile = profile
@@ -97,8 +111,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events.
+
+        O(1): backed by a live counter maintained on schedule, cancel
+        and pop rather than a scan of the heap (which still holds
+        cancelled entries until they surface).
+        """
+        return self._live
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -126,8 +145,11 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self._now}"
             )
         self._seq += 1
-        event = EventHandle(max(time, self._now), self._seq, callback, args)
+        event = EventHandle(
+            max(time, self._now), self._seq, callback, args, self
+        )
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def run(self, until: float | None = None) -> None:
@@ -152,22 +174,32 @@ class Simulator:
             )
         wall_started = perf_counter() if tracing else 0.0
         fired = 0
+        # Hot loop: locals beat attribute loads, the time limit is a
+        # plain float compare (inf when unbounded), and cancelled
+        # entries are discarded without touching the live counter
+        # (cancel() already removed them from it).
+        queue = self._queue
+        pop = heapq.heappop
+        limit = float("inf") if until is None else until
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                event = queue[0]
+                if event._cancelled:
+                    pop(queue)
                     continue
-                if until is not None and event.time > until:
+                time = event.time
+                if time > limit:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
+                pop(queue)
+                event._sim = None
+                self._live -= 1
+                self._now = time
                 fired += 1
                 if profile is None:
-                    event._fire()
+                    event._callback(*event._args)
                 else:
                     handler_started = perf_counter()
-                    event._fire()
+                    event._callback(*event._args)
                     profile.record(
                         event._callback, perf_counter() - handler_started
                     )

@@ -1,0 +1,49 @@
+"""Parallel sweep execution (:class:`SweepExecutor` and friends).
+
+The paper's evaluation grid — splicing technique x bandwidth x policy
+x seed — is embarrassingly parallel; this package fans those
+independent swarm runs out over a process pool while keeping results
+bit-identical to the serial path.  See ``docs/PERFORMANCE.md`` for the
+design and determinism guarantees.
+"""
+
+from .cache import cached_splice, cached_video, clear_caches, splice_for
+from .executor import (
+    JOBS_ENV_VAR,
+    SweepExecutor,
+    SweepStats,
+    default_jobs,
+)
+from .snapshot import MetricsSnapshot, merge_snapshot, snapshot_registry
+from .spec import (
+    CellSpec,
+    RunSpec,
+    SplicerSpec,
+    SquareWave,
+    VideoSpec,
+    cell_for,
+)
+from .worker import RunOutcome, execute_run, pool_entry
+
+__all__ = [
+    "CellSpec",
+    "JOBS_ENV_VAR",
+    "MetricsSnapshot",
+    "RunOutcome",
+    "RunSpec",
+    "SplicerSpec",
+    "SquareWave",
+    "SweepExecutor",
+    "SweepStats",
+    "VideoSpec",
+    "cached_splice",
+    "cached_video",
+    "cell_for",
+    "clear_caches",
+    "default_jobs",
+    "execute_run",
+    "merge_snapshot",
+    "pool_entry",
+    "snapshot_registry",
+    "splice_for",
+]

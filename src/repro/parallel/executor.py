@@ -1,0 +1,271 @@
+"""The sweep executor: fan independent swarm runs out over processes.
+
+The paper's evaluation is a grid of independent runs (technique x
+bandwidth x policy x seed), which :class:`SweepExecutor` executes at a
+configurable worker count:
+
+* ``jobs=1`` (or a tracing context) — the pure in-process path:
+  every run executes in the caller's process against the caller's
+  observability context, byte-for-byte the behaviour of the old serial
+  loops.
+* ``jobs>1`` — runs are pickled to a ``ProcessPoolExecutor``;
+  completion order is whatever the machine gives, but outcomes are
+  merged in (cell, seed) order, so results — including the reduced
+  metrics registry — are identical to the serial path.
+
+Worker crashes never kill a sweep: each failed run comes back as a
+failed :class:`~repro.parallel.worker.RunOutcome` naming its cell, and
+:meth:`SweepExecutor.run_cells` raises one :class:`SweepError` listing
+every failure after the surviving runs completed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..errors import ExperimentError, SweepError
+from ..experiments.runner import CellResult, merge_cell
+from ..obs.context import Observability
+from .snapshot import merge_snapshot
+from .spec import CellSpec, RunSpec
+from .worker import RunOutcome, execute_run, pool_entry
+
+#: Environment variable overriding the auto-detected worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Resolve the worker count: ``REPRO_JOBS`` env var, else cores.
+
+    Core detection prefers the scheduling affinity mask (what a
+    container is actually allowed to use) over the raw core count.
+    """
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ExperimentError(
+                f"{JOBS_ENV_VAR} must be a positive integer: {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ExperimentError(
+                f"{JOBS_ENV_VAR} must be >= 1: {jobs}"
+            )
+        return jobs
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True, slots=True)
+class SweepStats:
+    """Cumulative totals across everything an executor has run.
+
+    Attributes:
+        runs: swarm runs completed or failed.
+        failures: runs that failed.
+        events_fired: simulator callbacks executed across all runs.
+        sim_seconds: simulated seconds covered across all runs.
+    """
+
+    runs: int = 0
+    failures: int = 0
+    events_fired: int = 0
+    sim_seconds: float = 0.0
+
+
+class SweepExecutor:
+    """Execute independent swarm runs at a configurable worker count.
+
+    Args:
+        jobs: worker processes; ``None`` auto-detects via
+            :func:`default_jobs`.  ``1`` never creates a pool.
+        timeout: optional wall-clock deadline in seconds for one
+            parallel sweep; runs still unfinished at the deadline are
+            reported as failed outcomes naming their cell (best
+            effort: already-running workers are abandoned, not
+            killed).
+    """
+
+    def __init__(
+        self, jobs: int | None = None, timeout: float | None = None
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1: {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ExperimentError(
+                f"timeout must be positive: {timeout}"
+            )
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.timeout = timeout
+        self._stats = SweepStats()
+
+    @property
+    def stats(self) -> SweepStats:
+        """Cumulative totals across every sweep this executor ran."""
+        return self._stats
+
+    def map_runs(
+        self,
+        specs: Sequence[RunSpec],
+        obs: Observability | None = None,
+    ) -> list[RunOutcome]:
+        """Execute runs and return outcomes in (cell, seed) order.
+
+        The in-process path (``jobs=1``, or ``obs`` with tracing
+        enabled — a trace must stay on one clock in one process) runs
+        specs sequentially against ``obs`` itself and propagates
+        exceptions exactly like the serial loops did.  The pool path
+        isolates failures into the returned outcomes and, when ``obs``
+        is given, reduces each worker's metrics snapshot into
+        ``obs.registry`` in deterministic order.
+        """
+        specs = list(specs)
+        in_process = self.jobs == 1 or (
+            obs is not None and obs.tracing_enabled
+        )
+        if in_process:
+            outcomes = [
+                execute_run(replace(spec, collect_metrics=False), obs)
+                for spec in specs
+            ]
+        else:
+            outcomes = self._map_pool(specs, collect=obs is not None)
+            outcomes.sort(key=lambda o: (o.cell_index, o.seed_index))
+            if obs is not None:
+                for outcome in outcomes:
+                    if outcome.metrics is not None:
+                        merge_snapshot(obs.registry, outcome.metrics)
+        self._account(outcomes)
+        return outcomes
+
+    def _map_pool(
+        self, specs: list[RunSpec], collect: bool
+    ) -> list[RunOutcome]:
+        workers = max(1, min(self.jobs, len(specs)))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        timed_out = False
+        outcomes: list[RunOutcome] = []
+        try:
+            futures = {
+                pool.submit(
+                    pool_entry, replace(spec, collect_metrics=collect)
+                ): spec
+                for spec in specs
+            }
+            _, not_done = wait(futures, timeout=self.timeout)
+            timed_out = bool(not_done)
+            for future, spec in futures.items():
+                if future in not_done:
+                    future.cancel()
+                    outcomes.append(
+                        self._failed(
+                            spec,
+                            f"TimeoutError: sweep deadline "
+                            f"({self.timeout}s) exceeded",
+                        )
+                    )
+                    continue
+                try:
+                    outcomes.append(future.result())
+                except BaseException as exc:  # noqa: BLE001
+                    # A worker died hard (e.g. the pool broke) or the
+                    # outcome failed to unpickle; blame the run, keep
+                    # the sweep.
+                    outcomes.append(
+                        self._failed(
+                            spec, f"{type(exc).__name__}: {exc}"
+                        )
+                    )
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return outcomes
+
+    @staticmethod
+    def _failed(spec: RunSpec, error: str) -> RunOutcome:
+        return RunOutcome(
+            cell_index=spec.cell_index,
+            seed_index=spec.seed_index,
+            seed=spec.seed,
+            label=spec.cell.describe(),
+            error=error,
+        )
+
+    def _account(self, outcomes: list[RunOutcome]) -> None:
+        stats = self._stats
+        runs = stats.runs
+        failures = stats.failures
+        events = stats.events_fired
+        sim_seconds = stats.sim_seconds
+        for outcome in outcomes:
+            runs += 1
+            if outcome.ok:
+                events += outcome.stats.events_fired
+                sim_seconds += outcome.stats.end_time
+            else:
+                failures += 1
+        self._stats = SweepStats(
+            runs=runs,
+            failures=failures,
+            events_fired=events,
+            sim_seconds=sim_seconds,
+        )
+
+    def run_cells(
+        self,
+        cells: Sequence[CellSpec],
+        obs: Observability | None = None,
+    ) -> list[CellResult]:
+        """Run every seed of every cell; merge to cells in input order.
+
+        Args:
+            cells: the sweep, one spec per experimental cell.
+            obs: optional observability context (see :meth:`map_runs`).
+
+        Returns:
+            One seed-averaged :class:`CellResult` per input cell, in
+            input order, numerically identical at any worker count.
+
+        Raises:
+            SweepError: when any run failed on the pool path; the
+                message lists every failing (cell, seed).
+        """
+        cells = list(cells)
+        specs = [
+            RunSpec(
+                cell=cell,
+                seed=seed,
+                cell_index=cell_index,
+                seed_index=seed_index,
+            )
+            for cell_index, cell in enumerate(cells)
+            for seed_index, seed in enumerate(cell.config.seeds)
+        ]
+        outcomes = self.map_runs(specs, obs=obs)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            detail = "; ".join(
+                f"{o.label} (seed {o.seed}): {o.error}"
+                for o in failures
+            )
+            raise SweepError(
+                f"{len(failures)} of {len(outcomes)} sweep runs "
+                f"failed: {detail}"
+            )
+        results: list[CellResult] = []
+        position = 0
+        for cell in cells:
+            count = len(cell.config.seeds)
+            group = outcomes[position : position + count]
+            position += count
+            results.append(
+                merge_cell(
+                    cell.bandwidth_kb, [o.stats for o in group]
+                )
+            )
+        return results

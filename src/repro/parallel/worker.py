@@ -1,0 +1,140 @@
+"""The work a single sweep run performs, parent- or worker-side.
+
+:func:`execute_run` is the one code path that turns a
+:class:`~repro.parallel.spec.RunSpec` into per-seed stats — the
+executor calls it directly for in-process sweeps and via
+:func:`pool_entry` inside pool workers.  Because both paths run the
+same deterministic simulation on the same reconstructed inputs, a
+cell's numbers are identical at any worker count.
+
+:func:`pool_entry` must stay a module-level function (pickled by
+reference into worker processes) and never raise: any exception is
+folded into a failed :class:`RunOutcome` naming its cell, so one
+crashed run reports itself instead of killing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+
+from ..experiments.config import make_swarm_config
+from ..experiments.runner import SeedStats, seed_stats
+from ..obs.context import Observability
+from ..p2p.swarm import Swarm
+from ..units import kB_per_s
+from .cache import splice_for
+from .snapshot import MetricsSnapshot, snapshot_registry
+from .spec import RunSpec, SquareWave
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """What one (cell, seed) run produced — or how it failed.
+
+    Attributes:
+        cell_index: merge key (position of the cell in the sweep).
+        seed_index: merge key (position of the seed in the cell).
+        seed: the swarm seed that ran.
+        label: the cell's human-readable identity.
+        stats: per-seed scalars (``None`` when the run failed).
+        error: ``"ExcType: message"`` when the run failed.
+        wall_seconds: wall-clock time the run took where it executed.
+        metrics: registry snapshot (pool runs with metrics collection
+            only).
+    """
+
+    cell_index: int
+    seed_index: int
+    seed: int
+    label: str = ""
+    stats: SeedStats | None = None
+    error: str | None = None
+    wall_seconds: float = 0.0
+    metrics: MetricsSnapshot | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed and produced stats."""
+        return self.error is None and self.stats is not None
+
+
+def _schedule_square_wave(
+    swarm: Swarm, base: float, wave: SquareWave
+) -> None:
+    """Toggle every leecher's bandwidth between the two wave levels."""
+    low = base * (1.0 - wave.amplitude)
+    high = base * (1.0 + wave.amplitude)
+
+    def set_level(level: float, next_level: float) -> None:
+        for leecher in swarm.leechers:
+            swarm.topology.set_node_bandwidth(
+                swarm.network, leecher.node, level
+            )
+        swarm.sim.schedule(
+            wave.period / 2.0, set_level, next_level, level
+        )
+
+    swarm.sim.schedule(wave.period / 2.0, set_level, low, high)
+
+
+def execute_run(
+    spec: RunSpec, obs: Observability | None = None
+) -> RunOutcome:
+    """Run one (cell, seed) swarm and reduce it to an outcome.
+
+    Args:
+        spec: the run to perform.
+        obs: observability context the swarm records into (the parent's
+            own context on the in-process path, a private registry in
+            pool workers).  Exceptions propagate — isolation is
+            :func:`pool_entry`'s job.
+    """
+    cell = spec.cell
+    splice = splice_for(cell)
+    swarm_config = make_swarm_config(
+        cell.bandwidth_kb, spec.seed, cell.config, cell.policy
+    )
+    if cell.preroll_segments is not None:
+        swarm_config = replace(
+            swarm_config, preroll_segments=cell.preroll_segments
+        )
+    swarm = Swarm(splice, swarm_config, obs=obs)
+    if cell.square_wave is not None:
+        _schedule_square_wave(
+            swarm, kB_per_s(cell.bandwidth_kb), cell.square_wave
+        )
+    started = perf_counter()
+    result = swarm.run()
+    return RunOutcome(
+        cell_index=spec.cell_index,
+        seed_index=spec.seed_index,
+        seed=spec.seed,
+        label=cell.describe(),
+        stats=seed_stats(
+            result,
+            events_fired=swarm.sim.events_fired,
+            end_time=swarm.sim.now,
+        ),
+        wall_seconds=perf_counter() - started,
+    )
+
+
+def pool_entry(spec: RunSpec) -> RunOutcome:
+    """Worker-process entry point: never raises, always an outcome."""
+    obs = Observability.metrics_only() if spec.collect_metrics else None
+    try:
+        outcome = execute_run(spec, obs)
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        return RunOutcome(
+            cell_index=spec.cell_index,
+            seed_index=spec.seed_index,
+            seed=spec.seed,
+            label=spec.cell.describe(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    if obs is not None:
+        outcome = replace(
+            outcome, metrics=snapshot_registry(obs.registry)
+        )
+    return outcome

@@ -1,0 +1,265 @@
+"""Parallel sweep executor: parity, isolation, and plumbing.
+
+The load-bearing guarantee is bit-identical results at any worker
+count; the parity tests compare whole ``CellResult`` dataclasses
+(float equality, not approx) between ``jobs=1`` and ``jobs=4`` for
+cells drawn from every figure family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError, SweepError
+from repro.experiments import fig2, fig4, fig5
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reproduce import reproduce_all
+from repro.core.policy import FixedPoolPolicy
+from repro.obs.context import Observability
+from repro.parallel import (
+    CellSpec,
+    SplicerSpec,
+    SquareWave,
+    SweepExecutor,
+    VideoSpec,
+    cell_for,
+    default_jobs,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ExperimentConfig(n_leechers=3, seeds=(5, 9), max_time=600.0)
+
+
+def _figure_cells(config, video):
+    """A small sweep touching every figure family's cell shape."""
+    return [
+        # fig2/fig3: technique x bandwidth
+        cell_for(SplicerSpec("gop"), 512, config, video=video,
+                 label="fig2/gop @ 512"),
+        cell_for(SplicerSpec("duration", 2.0), 512, config,
+                 video=video, label="fig2/duration-2s @ 512"),
+        # fig4: duration splicing at another bandwidth
+        cell_for(SplicerSpec("duration", 4.0), 256, config,
+                 video=video, label="fig4/4 sec @ 256"),
+        # fig5: fixed-pool policy override
+        cell_for(SplicerSpec("duration", 4.0), 512, config,
+                 policy=FixedPoolPolicy(2), video=video,
+                 label="fig5/pool-2 @ 512"),
+    ]
+
+
+class TestParity:
+    def test_serial_and_parallel_cells_identical(
+        self, fast_config, short_video
+    ):
+        cells = _figure_cells(fast_config, short_video)
+        serial = SweepExecutor(jobs=1).run_cells(cells)
+        parallel = SweepExecutor(jobs=4).run_cells(cells)
+        assert serial == parallel  # exact float equality
+
+    def test_figure_run_parity(self, fast_config, short_video):
+        serial = fig2.run(
+            fast_config, video=short_video, bandwidths_kb=(512,)
+        )
+        parallel = fig2.run(
+            fast_config,
+            video=short_video,
+            bandwidths_kb=(512,),
+            executor=SweepExecutor(jobs=4),
+        )
+        assert serial.series == parallel.series
+
+    def test_fig4_and_fig5_parity(self, fast_config, short_video):
+        for module in (fig4, fig5):
+            serial = module.run(
+                fast_config, video=short_video, bandwidths_kb=(512,)
+            )
+            parallel = module.run(
+                fast_config,
+                video=short_video,
+                bandwidths_kb=(512,),
+                executor=SweepExecutor(jobs=4),
+            )
+            assert serial.series == parallel.series, module.__name__
+
+    def test_reproduce_all_jobs_parity(self, fast_config, short_video):
+        serial = reproduce_all(
+            fast_config,
+            video=short_video,
+            include_ablations=False,
+            jobs=1,
+        )
+        parallel = reproduce_all(
+            fast_config,
+            video=short_video,
+            include_ablations=False,
+            jobs=4,
+        )
+        assert serial.figures == parallel.figures
+        assert serial.overhead_table == parallel.overhead_table
+
+    def test_square_wave_and_preroll_cells_match(
+        self, fast_config, short_video
+    ):
+        cells = [
+            cell_for(
+                SplicerSpec("duration", 4.0), 256, fast_config,
+                video=short_video,
+                square_wave=SquareWave(amplitude=0.5, period=20.0),
+                label="A4",
+            ),
+            cell_for(
+                SplicerSpec("duration", 4.0), 256, fast_config,
+                video=short_video, preroll_segments=2, label="A7",
+            ),
+        ]
+        assert (
+            SweepExecutor(jobs=1).run_cells(cells)
+            == SweepExecutor(jobs=2).run_cells(cells)
+        )
+
+
+class TestMetricsReduction:
+    def test_parallel_metrics_match_serial(
+        self, fast_config, short_video
+    ):
+        cells = _figure_cells(fast_config, short_video)[:2]
+        serial_obs = Observability.metrics_only()
+        SweepExecutor(jobs=1).run_cells(cells, obs=serial_obs)
+        parallel_obs = Observability.metrics_only()
+        SweepExecutor(jobs=2).run_cells(cells, obs=parallel_obs)
+
+        serial_counters = {
+            name: counter.value
+            for name, counter in serial_obs.registry.counters().items()
+        }
+        parallel_counters = {
+            name: counter.value
+            for name, counter
+            in parallel_obs.registry.counters().items()
+        }
+        assert serial_counters == parallel_counters
+
+        # Histogram weights are time-integrals: serial mode grows one
+        # running sum, parallel merges per-run subtotals, and float
+        # addition is not associative — so these agree to within an
+        # ULP, unlike CellResults which are bit-exact by construction.
+        serial_hists = {
+            name: hist.weights()
+            for name, hist
+            in serial_obs.registry.histograms().items()
+        }
+        parallel_hists = {
+            name: hist.weights()
+            for name, hist
+            in parallel_obs.registry.histograms().items()
+        }
+        assert set(serial_hists) == set(parallel_hists)
+        for name, weights in serial_hists.items():
+            assert parallel_hists[name] == pytest.approx(weights), name
+
+        serial_gauges = {
+            name: gauge.value
+            for name, gauge in serial_obs.registry.gauges().items()
+        }
+        parallel_gauges = {
+            name: gauge.value
+            for name, gauge
+            in parallel_obs.registry.gauges().items()
+        }
+        assert serial_gauges == parallel_gauges
+
+    def test_tracing_obs_forces_in_process(
+        self, fast_config, short_video
+    ):
+        cells = _figure_cells(fast_config, short_video)[:1]
+        obs = Observability.tracing()
+        SweepExecutor(jobs=4).run_cells(cells, obs=obs)
+        # A pooled run cannot feed the parent tracer; events present
+        # proves the sweep ran on the caller's clock in-process.
+        assert len(obs.events()) > 0
+
+
+class TestCrashIsolation:
+    def test_failed_run_reports_its_cell(
+        self, fast_config, short_video
+    ):
+        good = _figure_cells(fast_config, short_video)[0]
+        bad = CellSpec(
+            splicer=SplicerSpec("duration", -1.0),
+            bandwidth_kb=512,
+            config=fast_config,
+            video_spec=VideoSpec(seed=1),
+            label="bad-cell",
+        )
+        executor = SweepExecutor(jobs=2)
+        with pytest.raises(SweepError) as excinfo:
+            executor.run_cells([good, bad])
+        message = str(excinfo.value)
+        assert "bad-cell" in message
+        assert "target_duration" in message
+        # The healthy cell's runs completed despite the failures.
+        assert executor.stats.runs == 2 * len(fast_config.seeds)
+        assert executor.stats.failures == len(fast_config.seeds)
+
+    def test_map_runs_surfaces_outcomes(
+        self, fast_config, short_video
+    ):
+        from repro.parallel import RunSpec
+
+        good = _figure_cells(fast_config, short_video)[0]
+        bad = CellSpec(
+            splicer=SplicerSpec("duration", -1.0),
+            bandwidth_kb=512,
+            config=fast_config,
+            video_spec=VideoSpec(seed=1),
+            label="bad-cell",
+        )
+        specs = [
+            RunSpec(cell=good, seed=5, cell_index=0, seed_index=0),
+            RunSpec(cell=bad, seed=5, cell_index=1, seed_index=0),
+        ]
+        outcomes = SweepExecutor(jobs=2).map_runs(specs)
+        assert [o.cell_index for o in outcomes] == [0, 1]
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].label == "bad-cell"
+
+
+class TestConfiguration:
+    def test_repro_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert SweepExecutor().jobs == 3
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ExperimentError):
+            default_jobs()
+
+    def test_explicit_jobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SweepExecutor(jobs=2).jobs == 2
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepExecutor(jobs=0)
+
+    def test_cell_spec_needs_exactly_one_video(self, fast_config):
+        with pytest.raises(ExperimentError):
+            CellSpec(
+                splicer=SplicerSpec("gop"),
+                bandwidth_kb=256,
+                config=fast_config,
+            )
+
+    def test_executor_accumulates_events(
+        self, fast_config, short_video
+    ):
+        executor = SweepExecutor(jobs=1)
+        cells = _figure_cells(fast_config, short_video)[:1]
+        executor.run_cells(cells)
+        assert executor.stats.events_fired > 0
+        assert executor.stats.sim_seconds > 0

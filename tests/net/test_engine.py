@@ -136,3 +136,72 @@ class TestRunUntil:
         sim.schedule(1.0, lambda: None)
         sim.run_until_idle(max_time=10.0)
         assert sim.pending_events == 0
+
+
+class TestPendingCounter:
+    """pending_events is a live counter, not a queue scan."""
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        assert sim.pending_events == 3
+
+    def test_cancel_decrements_immediately(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in (1, 2)]
+        handles[0].cancel()
+        # The cancelled entry still sits in the heap, but the count
+        # reflects only live events.
+        assert sim.pending_events == 1
+
+    def test_double_cancel_does_not_double_decrement(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_firing_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_counter_tracks_across_partial_runs(self):
+        sim = Simulator()
+        for delay in (1.0, 5.0, 9.0):
+            sim.schedule(delay, lambda: None)
+        sim.run(until=2.0)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_counter_matches_queue_scan(self):
+        # The counter must agree with the definitionally correct O(n)
+        # scan under a mixed schedule/cancel/run workload.
+        sim = Simulator()
+        handles = [
+            sim.schedule(float(i % 7) + 0.5, lambda: None)
+            for i in range(40)
+        ]
+        for handle in handles[::3]:
+            handle.cancel()
+        sim.run(until=3.0)
+        scan = sum(
+            1 for event in sim._queue if not event.cancelled
+        )
+        assert sim.pending_events == scan
+
+    def test_events_cancelled_by_handlers_mid_run(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, fired.append, "victim")
+        sim.schedule(1.0, victim.cancel)
+        sim.schedule(3.0, fired.append, "survivor")
+        sim.run()
+        assert fired == ["survivor"]
+        assert sim.pending_events == 0

@@ -1,0 +1,71 @@
+"""Golden-trace guard for the simulation engine's event ordering.
+
+The engine's hot loop is performance-tuned (live-event counter,
+hoisted attribute lookups, direct callback dispatch); this test pins
+its observable behaviour to a fixture recorded before the tuning: the
+exact sequence of traced events — times, payloads and tie-breaks —
+hashed over the run of a representative swarm.  Any engine change that
+reorders, drops, or re-times a single event changes the digest.
+
+``wall_seconds`` (wall-clock, non-deterministic) is excluded from the
+hash; everything else in every event participates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.splicer import DurationSplicer
+from repro.obs.context import Observability
+from repro.p2p.swarm import Swarm, SwarmConfig
+from repro.units import kB_per_s
+from repro.video.encoder import encode_paper_video
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def _traced_run():
+    video = encode_paper_video(seed=1, duration=24.0)
+    splice = DurationSplicer(4.0).splice(video)
+    obs = Observability.tracing()
+    config = SwarmConfig(
+        bandwidth=kB_per_s(256.0),
+        seeder_bandwidth=kB_per_s(2048.0),
+        n_leechers=5,
+        seed=7,
+    )
+    swarm = Swarm(splice, config, obs=obs)
+    swarm.run()
+    return swarm, obs
+
+
+def _digest(events) -> str:
+    digest = hashlib.sha256()
+    for event in events:
+        record = event.to_dict()
+        record.pop("wall_seconds", None)
+        digest.update(
+            json.dumps(record, sort_keys=True).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def test_event_stream_matches_golden_trace():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    swarm, obs = _traced_run()
+    events = obs.events()
+    assert len(events) == golden["events"]
+    assert swarm.sim.events_fired == golden["events_fired"]
+    assert swarm.sim.now == golden["end_time"]
+    assert _digest(events) == golden["sha256"]
+
+
+def test_traced_run_is_self_consistent():
+    # Two runs in one process must agree with each other too (guards
+    # the fixture against becoming stale silently if regenerated).
+    _, first = _traced_run()
+    _, second = _traced_run()
+    assert _digest(first.events()) == _digest(second.events())

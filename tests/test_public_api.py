@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.testbed",
     "repro.experiments",
     "repro.obs",
+    "repro.parallel",
 ]
 
 
