@@ -98,6 +98,7 @@ class Simulator:
         self._tracer = tracer
         self.profile = profile
         self._events_fired = 0
+        self._barriers: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -152,6 +153,31 @@ class Simulator:
         self._live += 1
         return event
 
+    def call_at_timestamp_end(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once all events at the current instant fired.
+
+        The *end-of-timestamp barrier*: callbacks registered here run
+        after every event scheduled at the current simulated time has
+        been processed, and strictly before the clock advances (or the
+        run returns).  Components use it to coalesce a burst of
+        same-instant updates into one deferred recomputation.
+
+        Barrier callbacks are not events: they consume no sequence
+        number, do not count toward :attr:`events_fired`, and may
+        schedule ordinary events (including at the current time, which
+        re-opens the timestamp and re-arms any barriers registered
+        during the drain).
+        """
+        self._barriers.append(callback)
+
+    def _drain_barriers(self) -> None:
+        barriers = self._barriers
+        while barriers:
+            pending = barriers[:]
+            barriers.clear()
+            for callback in pending:
+                callback()
+
     def run(self, until: float | None = None) -> None:
         """Process events in time order.
 
@@ -177,17 +203,28 @@ class Simulator:
         # Hot loop: locals beat attribute loads, the time limit is a
         # plain float compare (inf when unbounded), and cancelled
         # entries are discarded without touching the live counter
-        # (cancel() already removed them from it).
+        # (cancel() already removed them from it).  End-of-timestamp
+        # barriers drain whenever the next live event would move the
+        # clock (and when the queue runs dry), before time advances.
         queue = self._queue
         pop = heapq.heappop
+        barriers = self._barriers
         limit = float("inf") if until is None else until
         try:
-            while queue:
+            while queue or barriers:
+                if not queue:
+                    self._drain_barriers()
+                    if not queue:
+                        break
+                    continue
                 event = queue[0]
                 if event._cancelled:
                     pop(queue)
                     continue
                 time = event.time
+                if barriers and time > self._now:
+                    self._drain_barriers()
+                    continue
                 if time > limit:
                     break
                 pop(queue)

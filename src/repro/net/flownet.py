@@ -1,4 +1,4 @@
-"""Flow-level bandwidth sharing with max-min fairness.
+"""Flow-level bandwidth sharing with max-min fairness, solved incrementally.
 
 Concurrent transfers are *fluid flows* over routes of links.  Whenever
 the set of flows (or a capacity or per-flow rate cap) changes, rates
@@ -10,21 +10,56 @@ This is the standard abstraction for simulating TCP sharing at the
 timescale of segment downloads: each flow's cap is supplied by the TCP
 model (slow-start ramp, Mathis loss ceiling) and the network solves the
 induced sharing exactly instead of simulating packets.
+
+Two structural facts make the solve incremental without changing a
+single allocated byte:
+
+* **Max-min decomposes over link-connected components.**  Flows that
+  share no link (directly or transitively) cannot influence each
+  other's rates, so the network partitions its flows into components
+  and re-runs progressive filling only over the component(s) an update
+  touched; untouched components keep their cached rates.  A removal may
+  split a component — connectivity is re-derived lazily at the next
+  solve of that component.
+
+* **Same-timestamp updates coalesce.**  Rates only matter across
+  intervals of nonzero simulated time, so a burst of updates landing at
+  one instant (window ramps, multi-flow churn) marks components dirty
+  and defers the solve to the engine's end-of-timestamp barrier
+  (:meth:`~repro.net.engine.Simulator.call_at_timestamp_end`) — one
+  re-solve instead of one per call.  Reading :attr:`Flow.rate` flushes
+  pending work first, so callers always observe solved rates.
+
+The naive solver this replaces (global re-solve on every update,
+per-flow per-link byte accounting, full completion rescans) survives as
+:class:`repro.net.reference.ReferenceFlowNetwork` — the executable
+specification the property tests cross-check against.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..errors import NetworkError
 from .engine import EventHandle, Simulator
 from .link import Link
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+
 #: Bytes below which a flow counts as complete (float-drift guard).
 _COMPLETION_EPSILON = 1e-3
 #: Rate increments below this are treated as zero in progressive filling.
 _RATE_EPSILON = 1e-9
+#: Relative slack when deciding whether a component *might* hold a flow
+#: within :data:`_COMPLETION_EPSILON` of completion.  The cached
+#: estimate extrapolates linearly with the same rates the advance loop
+#: uses, so it can drift from the advanced ``remaining`` only by
+#: accumulated rounding — orders of magnitude below this slack.  The
+#: slack errs toward scanning a component that turns out to have
+#: nothing due, which costs time but never changes behaviour.
+_SWEEP_SLACK = 1e-6
 
 
 class Flow:
@@ -33,42 +68,56 @@ class Flow:
     Created via :meth:`FlowNetwork.start_flow`; read-only for callers.
     """
 
-    _ids = itertools.count(1)
-
     __slots__ = (
         "id",
         "route",
         "size",
         "remaining",
-        "rate",
+        "_rate",
         "rate_limit",
         "min_efficient_rate",
         "on_complete",
         "started_at",
         "completed_at",
         "cancelled",
+        "_network",
     )
 
     def __init__(
         self,
+        flow_id: int,
         route: tuple[Link, ...],
         size: float,
         rate_limit: float | None,
         on_complete: Callable[["Flow"], None] | None,
         started_at: float,
         min_efficient_rate: float = 0.0,
+        network: "FlowNetwork | None" = None,
     ) -> None:
-        self.id = next(Flow._ids)
+        self.id = flow_id
         self.route = route
         self.size = size
         self.remaining = size
-        self.rate = 0.0
+        self._rate = 0.0
         self.rate_limit = rate_limit
         self.min_efficient_rate = min_efficient_rate
         self.on_complete = on_complete
         self.started_at = started_at
         self.completed_at: float | None = None
         self.cancelled = False
+        self._network = network
+
+    @property
+    def rate(self) -> float:
+        """Allocated rate in bytes/second.
+
+        Reading flushes any deferred re-solve first, so the value is
+        always the solved allocation for the network's current state.
+        """
+        network = self._network
+        if network is not None and network._dirty:
+            network._flush()
+        return self._rate
 
     @property
     def transferred(self) -> float:
@@ -83,8 +132,31 @@ class Flow:
     def __repr__(self) -> str:
         return (
             f"Flow(#{self.id}, size={self.size:.0f}, "
-            f"remaining={self.remaining:.0f}, rate={self.rate:.0f}B/s)"
+            f"remaining={self.remaining:.0f}, rate={self._rate:.0f}B/s)"
         )
+
+
+class _Component:
+    """One link-connected set of flows with cached solve results."""
+
+    __slots__ = ("flows", "links", "eta_flow", "eps_eta", "needs_split")
+
+    def __init__(self) -> None:
+        #: member flows, insertion-ordered (dict used as ordered set).
+        self.flows: dict[Flow, None] = {}
+        #: links traversed by member flows; a superset between a
+        #: removal and the next solve, exact after every solve.
+        self.links: dict[str, Link] = {}
+        #: the member with the soonest full-completion ETA at the last
+        #: solve (rates are constant between solves, so it stays the
+        #: argmin until the next solve).
+        self.eta_flow: Flow | None = None
+        #: absolute sim time when the earliest member may come within
+        #: the completion epsilon of done (+inf when none can).
+        self.eps_eta: float = float("inf")
+        #: a member was removed since the last solve — connectivity
+        #: must be re-derived before solving.
+        self.needs_split = False
 
 
 class FlowNetwork:
@@ -92,14 +164,48 @@ class FlowNetwork:
 
     Args:
         sim: the simulator supplying the clock and event queue.
+        registry: optional metrics registry; when given, the solver
+            publishes counters (``net.flownet.*``) for updates,
+            coalesced updates, component re-solves, and re-solved flow
+            counts.  Recording never changes allocations.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self._sim = sim
-        self._flows: list[Flow] = []
+        self._flows: dict[Flow, None] = {}
+        self._flow_ids = itertools.count(1)
         self._last_update = 0.0
         self._completion_event: EventHandle | None = None
         self._link_bytes: dict[str, float] = {}
+        # Aggregate allocated rate per link, refreshed at solve time so
+        # byte accounting is O(links) per advance instead of
+        # O(flows x route).
+        self._link_rates: dict[str, float] = {}
+        self._comps: dict[_Component, None] = {}
+        self._comp_of: dict[Flow, _Component] = {}
+        self._link_comp: dict[str, _Component] = {}
+        self._dirty: dict[_Component, None] = {}
+        self._barrier_pending = False
+        self._completion_stale = False
+        self._capacity_generation = 0
+        if registry is None:
+            self._updates = None
+            self._coalesced = None
+            self._resolves = None
+            self._resolved_flows = None
+        else:
+            self._updates = registry.counter("net.flownet.updates")
+            self._coalesced = registry.counter(
+                "net.flownet.coalesced_updates"
+            )
+            self._resolves = registry.counter("net.flownet.resolves")
+            self._resolved_flows = registry.counter(
+                "net.flownet.resolved_flows"
+            )
 
     @property
     def sim(self) -> Simulator:
@@ -110,6 +216,15 @@ class FlowNetwork:
     def active_flows(self) -> list[Flow]:
         """Currently-active flows (snapshot copy)."""
         return list(self._flows)
+
+    @property
+    def capacity_generation(self) -> int:
+        """Bumped on every :meth:`set_capacity`.
+
+        Lets callers cache path properties derived from capacities
+        (e.g. the TCP model's bottleneck rate) and invalidate in O(1).
+        """
+        return self._capacity_generation
 
     def flows_on(self, link: Link) -> int:
         """Number of active flows traversing ``link``."""
@@ -160,25 +275,27 @@ class FlowNetwork:
             )
         self._advance()
         flow = Flow(
+            next(self._flow_ids),
             route,
             size,
             rate_limit,
             on_complete,
             self._sim.now,
             min_efficient_rate,
+            network=self,
         )
-        self._flows.append(flow)
-        self._recompute()
+        self._flows[flow] = None
+        comp = self._adopt(flow)
+        self._mark_dirty(comp)
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort an active flow (no completion callback fires)."""
-        if not flow.active:
+        if not flow.active or flow not in self._flows:
             return
         self._advance()
         flow.cancelled = True
-        self._flows.remove(flow)
-        self._recompute()
+        self._remove_flow(flow)
 
     def set_rate_limit(self, flow: Flow, rate_limit: float | None) -> None:
         """Change a flow's rate cap (TCP window ramp); triggers resharing."""
@@ -190,45 +307,183 @@ class FlowNetwork:
             return
         self._advance()
         flow.rate_limit = rate_limit
-        self._recompute()
+        comp = self._comp_of.get(flow)
+        if comp is not None:
+            self._mark_dirty(comp)
 
     def set_capacity(self, link: Link, capacity: float) -> None:
         """Change a link's capacity at runtime (variable-bandwidth runs)."""
         self._advance()
         link.capacity = capacity
-        self._recompute()
+        self._capacity_generation += 1
+        comp = self._link_comp.get(link.name)
+        if comp is not None:
+            self._mark_dirty(comp)
 
     # ------------------------------------------------------------------
-    # internals
+    # component bookkeeping
 
-    def _advance(self) -> None:
-        """Credit every active flow with progress since the last update."""
-        now = self._sim.now
-        elapsed = now - self._last_update
-        if elapsed > 0:
-            for flow in self._flows:
-                moved = flow.rate * elapsed
-                flow.remaining = max(0.0, flow.remaining - moved)
-                for link in flow.route:
-                    self._link_bytes[link.name] = (
-                        self._link_bytes.get(link.name, 0.0) + moved
-                    )
-        self._last_update = now
+    def _adopt(self, flow: Flow) -> _Component:
+        """Place a new flow, merging every component its route touches."""
+        touched: list[_Component] = []
+        for link in flow.route:
+            comp = self._link_comp.get(link.name)
+            if comp is not None and comp not in touched:
+                touched.append(comp)
+        if not touched:
+            home = _Component()
+            self._comps[home] = None
+        else:
+            home = max(touched, key=lambda c: len(c.flows))
+            for other in touched:
+                if other is home:
+                    continue
+                for member in other.flows:
+                    home.flows[member] = None
+                    self._comp_of[member] = home
+                for name, link in other.links.items():
+                    home.links[name] = link
+                    self._link_comp[name] = home
+                home.needs_split |= other.needs_split
+                if other in self._dirty:
+                    del self._dirty[other]
+                del self._comps[other]
+        home.flows[flow] = None
+        self._comp_of[flow] = home
+        for link in flow.route:
+            home.links[link.name] = link
+            self._link_comp[link.name] = home
+        return home
 
-    def _recompute(self) -> None:
-        """Re-solve rates and reschedule the next completion."""
-        self._allocate_max_min()
-        self._reschedule_completion()
+    def _remove_flow(self, flow: Flow) -> None:
+        """Detach a finished/cancelled flow and dirty its component."""
+        del self._flows[flow]
+        flow._network = None
+        comp = self._comp_of.pop(flow)
+        del comp.flows[flow]
+        if not comp.flows:
+            self._dissolve(comp)
+        else:
+            comp.needs_split = True
+            self._mark_dirty(comp)
 
-    def _allocate_max_min(self) -> None:
-        """Progressive-filling max-min fair allocation with rate caps."""
-        unfrozen = set(self._flows)
-        for flow in self._flows:
-            flow.rate = 0.0
+    def _dissolve(self, comp: _Component) -> None:
+        for name in comp.links:
+            if self._link_comp.get(name) is comp:
+                del self._link_comp[name]
+                self._link_rates.pop(name, None)
+        self._dirty.pop(comp, None)
+        del self._comps[comp]
+        # The pending completion event may target this component.
+        self._schedule_flush()
+
+    def _mark_dirty(self, comp: _Component) -> None:
+        if self._updates is not None:
+            self._updates.inc()
+            if comp in self._dirty:
+                self._coalesced.inc()
+        self._dirty[comp] = None
+        self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        self._completion_stale = True
+        if not self._barrier_pending:
+            self._barrier_pending = True
+            self._sim.call_at_timestamp_end(self._on_barrier)
+
+    def _on_barrier(self) -> None:
+        self._barrier_pending = False
+        self._flush()
+
+    def _flush(self) -> None:
+        """Solve every dirty component and refresh the completion event."""
+        if self._dirty:
+            dirty = self._dirty
+            self._dirty = {}
+            for comp in dirty:
+                if comp in self._comps:
+                    self._solve(comp)
+        if self._completion_stale:
+            self._completion_stale = False
+            self._reschedule_completion()
+
+    # ------------------------------------------------------------------
+    # solving
+
+    def _solve(self, comp: _Component) -> None:
+        """Re-solve one dirty component (splitting it first if needed)."""
+        # Release this component's link ownership; each surviving part
+        # re-registers exactly the links its flows still traverse.
+        for name in comp.links:
+            if self._link_comp.get(name) is comp:
+                del self._link_comp[name]
+                self._link_rates.pop(name, None)
+        if comp.needs_split:
+            parts = self._split(comp)
+        else:
+            parts = (comp,)
+        for part in parts:
+            self._fill(part)
+
+    def _split(self, comp: _Component) -> list[_Component]:
+        """Re-derive link-connectivity after removals.
+
+        Returns the component itself when still connected, else fresh
+        components (member order preserved) replacing it.
+        """
+        comp.needs_split = False
+        flows = list(comp.flows)
+        parent = list(range(len(flows)))
+
+        def find(i: int) -> int:
+            root = i
+            while parent[root] != root:
+                root = parent[root]
+            while parent[i] != root:
+                parent[i], i = root, parent[i]
+            return root
+
+        by_link: dict[str, int] = {}
+        for index, flow in enumerate(flows):
+            for link in flow.route:
+                first = by_link.setdefault(link.name, index)
+                if first != index:
+                    parent[find(index)] = find(first)
+
+        groups: dict[int, list[Flow]] = {}
+        for index, flow in enumerate(flows):
+            groups.setdefault(find(index), []).append(flow)
+        if len(groups) == 1:
+            return [comp]
+
+        del self._comps[comp]
+        parts = []
+        for members in groups.values():
+            part = _Component()
+            for flow in members:
+                part.flows[flow] = None
+                self._comp_of[flow] = part
+            self._comps[part] = None
+            parts.append(part)
+        return parts
+
+    def _fill(self, comp: _Component) -> None:
+        """Progressive-filling max-min fair allocation with rate caps.
+
+        Arithmetic is the exact restriction of the global reference
+        solve to this component's flows: the delta sequence is a pure
+        function of the member flows' links and caps, so solving a
+        component in isolation reproduces the joint solve bit-for-bit
+        (components share no links by construction).
+        """
+        flows = comp.flows
+        unfrozen = set(flows)
+        for flow in flows:
+            flow._rate = 0.0
         link_remaining: dict[str, float] = {}
         link_unfrozen: dict[str, set[Flow]] = {}
         links: dict[str, Link] = {}
-        for flow in self._flows:
+        for flow in flows:
             for link in flow.route:
                 links[link.name] = link
                 link_remaining.setdefault(link.name, link.capacity)
@@ -246,14 +501,14 @@ class FlowNetwork:
             )
             for flow in unfrozen:
                 if flow.rate_limit is not None:
-                    delta = min(delta, flow.rate_limit - flow.rate)
+                    delta = min(delta, flow.rate_limit - flow._rate)
             if delta == float("inf"):
                 break
             delta = max(delta, 0.0)
 
             if delta > 0:
                 for flow in unfrozen:
-                    flow.rate += delta
+                    flow._rate += delta
                 for name, members in link_unfrozen.items():
                     link_remaining[name] -= delta * len(members)
 
@@ -262,7 +517,7 @@ class FlowNetwork:
                 flow
                 for flow in unfrozen
                 if flow.rate_limit is not None
-                and flow.rate >= flow.rate_limit - _RATE_EPSILON
+                and flow._rate >= flow.rate_limit - _RATE_EPSILON
             }
             for name, members in link_unfrozen.items():
                 if link_remaining[name] <= _RATE_EPSILON * max(
@@ -282,20 +537,85 @@ class FlowNetwork:
 
         # TCP window floor: a share below ~MSS/RTT leaves a real
         # connection timeout-bound; goodput falls off quadratically.
-        for flow in self._flows:
+        for flow in flows:
             floor = flow.min_efficient_rate
-            if floor > 0 and 0 < flow.rate < floor:
-                flow.rate = flow.rate * flow.rate / floor
+            if floor > 0 and 0 < flow._rate < floor:
+                flow._rate = flow._rate * flow._rate / floor
+
+        # Cache what the rest of the network needs from this solve:
+        # per-link aggregate rates, link ownership, and the ETA bounds
+        # the completion machinery consults.
+        now = self._sim.now
+        eps = _COMPLETION_EPSILON
+        comp.links = links
+        link_rates = dict.fromkeys(links, 0.0)
+        eta_flow: Flow | None = None
+        best_eta = float("inf")
+        eps_eta = float("inf")
+        for flow in flows:
+            rate = flow._rate
+            for link in flow.route:
+                link_rates[link.name] += rate
+            remaining = flow.remaining
+            if remaining <= eps:
+                eps_eta = now
+            if rate <= 0:
+                continue
+            eta = remaining / rate
+            if eta < best_eta:
+                best_eta = eta
+                eta_flow = flow
+            if remaining > eps:
+                crossing = now + (remaining - eps) / rate
+                if crossing < eps_eta:
+                    eps_eta = crossing
+        comp.eta_flow = eta_flow
+        comp.eps_eta = eps_eta
+        for name, rate in link_rates.items():
+            self._link_rates[name] = rate
+            self._link_comp[name] = comp
+
+        if self._resolves is not None:
+            self._resolves.inc()
+            self._resolved_flows.inc(len(flows))
+
+    # ------------------------------------------------------------------
+    # time advance and completions
+
+    def _advance(self) -> None:
+        """Credit every active flow with progress since the last update.
+
+        Rates are constant across the advanced interval: dirty
+        components can only exist within the current timestamp (the
+        engine barrier flushes them before the clock moves), so the
+        cached ``_rate``/``_link_rates`` values are exactly the rates
+        that applied since ``_last_update``.
+        """
+        now = self._sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                flow.remaining = max(
+                    0.0, flow.remaining - flow._rate * elapsed
+                )
+            link_bytes = self._link_bytes
+            for name, rate in self._link_rates.items():
+                if rate:
+                    link_bytes[name] = (
+                        link_bytes.get(name, 0.0) + rate * elapsed
+                    )
+        self._last_update = now
 
     def _reschedule_completion(self) -> None:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
         soonest: float | None = None
-        for flow in self._flows:
-            if flow.rate <= 0:
+        for comp in self._comps:
+            flow = comp.eta_flow
+            if flow is None:
                 continue
-            eta = flow.remaining / flow.rate
+            eta = flow.remaining / flow._rate
             if soonest is None or eta < soonest:
                 soonest = eta
         if soonest is not None:
@@ -306,16 +626,26 @@ class FlowNetwork:
     def _on_completion_due(self) -> None:
         self._completion_event = None
         self._advance()
+        now = self._sim.now
+        horizon = now + _SWEEP_SLACK * (1.0 + now)
         done = [
             flow
-            for flow in self._flows
+            for comp in self._comps
+            if comp.eps_eta <= horizon
+            for flow in comp.flows
             if flow.remaining <= _COMPLETION_EPSILON
         ]
+        if not done:
+            # Scheduled ETA drifted past the actual crossing by a few
+            # ULPs; re-arm and let the next firing catch it.
+            self._reschedule_completion()
+            return
+        done.sort(key=lambda flow: flow.id)
         for flow in done:
             flow.remaining = 0.0
-            flow.completed_at = self._sim.now
-            self._flows.remove(flow)
-        self._recompute()
+            flow.completed_at = now
+            self._remove_flow(flow)
+        self._flush()
         for flow in done:
             if flow.on_complete is not None:
                 flow.on_complete(flow)

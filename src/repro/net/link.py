@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..errors import LinkError
 
 
@@ -62,12 +64,12 @@ class Link:
         )
 
 
-def path_latency(links: list[Link]) -> float:
+def path_latency(links: Iterable[Link]) -> float:
     """One-way propagation latency of a path, in seconds."""
     return sum(link.latency for link in links)
 
 
-def path_loss_rate(links: list[Link]) -> float:
+def path_loss_rate(links: Iterable[Link]) -> float:
     """End-to-end loss probability of a path (independent per link)."""
     survive = 1.0
     for link in links:

@@ -133,8 +133,8 @@ class TcpTransfer:
         self._on_complete = on_complete
         self._tracer = tracer
         self.label = label
-        self.rtt = max(2.0 * path_latency(list(route)), _MIN_RTT)
-        self.loss_rate = path_loss_rate(list(route))
+        self.rtt = max(2.0 * path_latency(route), _MIN_RTT)
+        self.loss_rate = path_loss_rate(route)
         self.started_at = sim.now
         self.completed_at: float | None = None
         self.cancelled = False
@@ -142,6 +142,8 @@ class TcpTransfer:
         self._cwnd_segments = params.initial_window
         self._pending: EventHandle | None = None
         self._cap = params.mathis_cap(self.rtt, self.loss_rate)
+        self._bottleneck = 0.0
+        self._capacity_gen = -1
         self._pending = sim.schedule(
             params.handshake_delay(self.rtt, self.loss_rate),
             self._begin_data,
@@ -232,10 +234,24 @@ class TcpTransfer:
         )
         self._schedule_window_growth()
 
+    def _path_bottleneck(self) -> float:
+        """Smallest capacity along the route, cached between RTT ticks.
+
+        The scan only re-runs when the network's capacity generation
+        moved (a ``set_capacity`` happened somewhere), so steady-state
+        window growth pays an O(1) check instead of an O(route) scan
+        per RTT.
+        """
+        generation = self._network.capacity_generation
+        if generation != self._capacity_gen:
+            self._capacity_gen = generation
+            self._bottleneck = min(link.capacity for link in self.route)
+        return self._bottleneck
+
     def _schedule_window_growth(self) -> None:
         if self._cap is not None and self._window_rate() >= self._cap:
             return  # already at the loss ceiling; stop ramping
-        bottleneck = min(link.capacity for link in self.route)
+        bottleneck = self._path_bottleneck()
         if self._window_rate() >= 2.0 * bottleneck:
             # The window has outgrown the path; it no longer binds.
             # Leave only the Mathis ceiling (if any) in place so the

@@ -214,7 +214,10 @@ class Swarm:
             tracer=obs.tracer if obs is not None else None,
             profile=obs.profile if obs is not None else None,
         )
-        self.network = FlowNetwork(self.sim)
+        self.network = FlowNetwork(
+            self.sim,
+            registry=obs.registry if obs is not None else None,
+        )
         self.topology = StarTopology()
         loss = per_link_loss(config.path_loss)
         # A peer-to-peer path crosses four access-link traversals per

@@ -205,3 +205,95 @@ class TestPendingCounter:
         sim.run()
         assert fired == ["survivor"]
         assert sim.pending_events == 0
+
+
+class TestTimestampEndBarrier:
+    """call_at_timestamp_end defers work to the end of the current instant."""
+
+    def test_barrier_runs_after_all_same_time_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(
+            lambda: order.append("barrier")
+        ))
+        sim.schedule(1.0, order.append, "b")
+        sim.schedule(2.0, order.append, "later")
+        sim.run()
+        assert order == ["a", "b", "barrier", "later"]
+
+    def test_barrier_runs_before_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(
+            lambda: seen.append(sim.now)
+        ))
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+
+    def test_barrier_runs_when_queue_drains(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(
+            lambda: seen.append(sim.now)
+        ))
+        sim.run()
+        assert seen == [1.0]
+        assert sim.now == 1.0
+
+    def test_barrier_runs_before_run_until_pads_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(
+            lambda: seen.append(sim.now)
+        ))
+        sim.run(until=10.0)
+        assert seen == [1.0]
+        assert sim.now == 10.0
+
+    def test_barrier_may_schedule_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(
+            lambda: sim.schedule(0.5, lambda: fired.append(sim.now))
+        ))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_barrier_event_at_current_time_reopens_timestamp(self):
+        sim = Simulator()
+        order = []
+
+        def barrier():
+            order.append("barrier")
+            sim.schedule(0.0, order.append, "reopened")
+
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(barrier))
+        sim.schedule(2.0, order.append, "later")
+        sim.run()
+        assert order == ["barrier", "reopened", "later"]
+
+    def test_barriers_registered_outside_run_fire_before_first_advance(self):
+        sim = Simulator()
+        order = []
+        sim.call_at_timestamp_end(lambda: order.append(("barrier", sim.now)))
+        sim.schedule(3.0, lambda: order.append(("event", sim.now)))
+        sim.run()
+        assert order == [("barrier", 0.0), ("event", 3.0)]
+
+    def test_barrier_callbacks_are_not_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.call_at_timestamp_end(lambda: None))
+        sim.run()
+        assert sim.events_fired == 1
+
+    def test_multiple_barriers_fire_in_registration_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: [
+            sim.call_at_timestamp_end(lambda: order.append("first")),
+            sim.call_at_timestamp_end(lambda: order.append("second")),
+        ])
+        sim.run()
+        assert order == ["first", "second"]

@@ -1,0 +1,205 @@
+"""Incremental solver vs the brute-force global reference.
+
+:class:`~repro.net.flownet.FlowNetwork` re-solves only dirty
+link-connected components and coalesces same-timestamp updates;
+:class:`~repro.net.reference.ReferenceFlowNetwork` re-solves the whole
+network on every update.  For randomized topologies, caps, and update
+schedules (including same-instant bursts), both must agree on every
+observable: allocated rates, completion sets and times, and per-link
+byte accounting.
+
+Agreement is asserted to a tight relative tolerance rather than
+bit-for-bit: progressive filling over a component in isolation can
+round differently in the last ULP than the same component interleaved
+with unrelated components' filling rounds.  (On the repository's real
+workloads the two are bit-identical — the golden-trace digest test
+pins that — but randomized cross-component configurations may land on
+either side of a rounding.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.engine import Simulator
+from repro.net.flownet import FlowNetwork
+from repro.net.link import Link
+from repro.net.reference import ReferenceFlowNetwork
+
+_REL = 1e-9
+
+
+@st.composite
+def update_schedules(draw):
+    """Random links plus a timed schedule of network updates.
+
+    Delays are drawn from a small set that includes zero so several
+    updates frequently land on the same simulated instant — the
+    coalescing path must behave identically to back-to-back global
+    re-solves.
+    """
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    capacities = [
+        draw(st.floats(min_value=10.0, max_value=10_000.0))
+        for _ in range(n_links)
+    ]
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    time = 0.0
+    for _ in range(n_ops):
+        time += draw(st.sampled_from([0.0, 0.0, 0.01, 0.5, 1.7]))
+        kind = draw(
+            st.sampled_from(
+                ["start", "start", "start", "cancel", "limit", "capacity"]
+            )
+        )
+        if kind == "start":
+            route = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_links - 1),
+                    min_size=1,
+                    max_size=n_links,
+                    unique=True,
+                )
+            )
+            size = draw(st.floats(min_value=10.0, max_value=5_000.0))
+            limit = draw(
+                st.one_of(
+                    st.none(),
+                    st.floats(min_value=1.0, max_value=20_000.0),
+                )
+            )
+            floor = draw(
+                st.sampled_from([0.0, 0.0, 50.0, 400.0])
+            )
+            ops.append((time, "start", (route, size, limit, floor)))
+        elif kind == "cancel":
+            ops.append((time, "cancel", draw(st.integers(0, 11))))
+        elif kind == "limit":
+            limit = draw(
+                st.one_of(
+                    st.none(),
+                    st.floats(min_value=1.0, max_value=20_000.0),
+                )
+            )
+            ops.append((time, "limit", (draw(st.integers(0, 11)), limit)))
+        else:
+            value = draw(st.floats(min_value=10.0, max_value=10_000.0))
+            ops.append(
+                (time, "capacity", (draw(st.integers(0, n_links - 1)), value))
+            )
+    return capacities, ops
+
+
+def _execute(network_cls, capacities, ops):
+    """Run one schedule against a network class; return observables."""
+    sim = Simulator()
+    network = network_cls(sim)
+    links = [
+        Link(f"l{i}", capacity) for i, capacity in enumerate(capacities)
+    ]
+    started: list = []
+    completions: dict[int, float] = {}
+
+    def apply(kind, payload) -> None:
+        if kind == "start":
+            route, size, limit, floor = payload
+            index = len(started)
+            started.append(
+                network.start_flow(
+                    [links[i] for i in route],
+                    size,
+                    rate_limit=limit,
+                    on_complete=lambda f, i=index: completions.setdefault(
+                        i, sim.now
+                    ),
+                    min_efficient_rate=floor,
+                )
+            )
+        elif kind == "cancel":
+            if payload < len(started):
+                network.cancel_flow(started[payload])
+        elif kind == "limit":
+            index, limit = payload
+            if index < len(started) and started[index].active:
+                network.set_rate_limit(started[index], limit)
+        else:
+            index, value = payload
+            network.set_capacity(links[index], value)
+
+    for time, kind, payload in ops:
+        sim.schedule_at(time, apply, kind, payload)
+    sim.run()
+    rates = [flow.rate if flow.active else None for flow in started]
+    carried = [network.bytes_carried(link) for link in links]
+    return completions, rates, carried
+
+
+class TestIncrementalMatchesReference:
+    @settings(max_examples=200, deadline=None)
+    @given(schedule=update_schedules())
+    def test_same_completions_rates_and_accounting(self, schedule):
+        capacities, ops = schedule
+        ref_done, ref_rates, ref_carried = _execute(
+            ReferenceFlowNetwork, capacities, ops
+        )
+        inc_done, inc_rates, inc_carried = _execute(
+            FlowNetwork, capacities, ops
+        )
+
+        assert inc_done.keys() == ref_done.keys()
+        for index, time in ref_done.items():
+            assert inc_done[index] == pytest.approx(time, rel=_REL)
+        assert len(inc_rates) == len(ref_rates)
+        for incremental, reference in zip(inc_rates, ref_rates):
+            if reference is None:
+                assert incremental is None
+            else:
+                assert incremental == pytest.approx(reference, rel=_REL)
+        for incremental, reference in zip(inc_carried, ref_carried):
+            assert incremental == pytest.approx(
+                reference, rel=1e-6, abs=1e-3
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedule=update_schedules())
+    def test_incremental_solver_is_deterministic(self, schedule):
+        capacities, ops = schedule
+        first = _execute(FlowNetwork, capacities, ops)
+        second = _execute(FlowNetwork, capacities, ops)
+        assert first == second
+
+
+class TestStaticAllocationParity:
+    """Pure-allocation cross-check: rates right after a burst of starts."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(schedule=update_schedules())
+    def test_rates_match_before_any_time_passes(self, schedule):
+        capacities, ops = schedule
+        starts = [op for op in ops if op[1] == "start"]
+
+        def allocate(network_cls):
+            sim = Simulator()
+            network = network_cls(sim)
+            links = [
+                Link(f"l{i}", capacity)
+                for i, capacity in enumerate(capacities)
+            ]
+            flows = [
+                network.start_flow(
+                    [links[i] for i in route],
+                    size,
+                    rate_limit=limit,
+                    min_efficient_rate=floor,
+                )
+                for _, _, (route, size, limit, floor) in starts
+            ]
+            return [flow.rate for flow in flows]
+
+        reference = allocate(ReferenceFlowNetwork)
+        incremental = allocate(FlowNetwork)
+        for got, want in zip(incremental, reference):
+            assert got == pytest.approx(want, rel=_REL)

@@ -160,3 +160,41 @@ class TestTransferLifecycle:
         transfer = start_tcp_transfer(sim, network, [a, b], 1000.0)
         assert transfer.rtt == pytest.approx(0.05)
         sim.run()
+
+
+class TestBottleneckCache:
+    def test_route_accepts_tuple_without_copy(self):
+        sim, network = setup()
+        links = (Link("a", 1e6, latency=0.01), Link("b", 1e6, latency=0.02))
+        transfer = start_tcp_transfer(sim, network, links, 10_000.0)
+        assert transfer.rtt == pytest.approx(0.06)
+
+    def test_bottleneck_cached_until_capacity_changes(self):
+        sim, network = setup()
+        fat = Link("fat", 1_000_000.0, latency=0.01)
+        thin = Link("thin", 200_000.0, latency=0.01)
+        transfer = start_tcp_transfer(sim, network, [fat, thin], 1e9)
+        assert transfer._path_bottleneck() == pytest.approx(200_000.0)
+        # Mutating capacity behind the network's back is NOT seen ...
+        thin.capacity = 50_000.0
+        assert transfer._path_bottleneck() == pytest.approx(200_000.0)
+        # ... until set_capacity bumps the generation counter.
+        network.set_capacity(thin, 50_000.0)
+        assert transfer._path_bottleneck() == pytest.approx(50_000.0)
+        transfer.cancel()
+
+    def test_window_growth_tracks_capacity_drop(self):
+        sim, network = setup()
+        link = Link("l", 1_000_000.0, latency=0.01, loss_rate=0.0)
+        done = []
+        transfer = start_tcp_transfer(
+            sim, network, [link], 5_000_000.0,
+            on_complete=lambda t: done.append(t),
+        )
+        sim.schedule(0.5, lambda: network.set_capacity(link, 100_000.0))
+        sim.run()
+        assert done == [transfer]
+        # The ramp re-read the bottleneck after the drop, so the window
+        # cap was lifted once it outgrew the *new* path, and the
+        # transfer finished at the reduced capacity.
+        assert transfer.duration > 5_000_000.0 / 1_000_000.0
