@@ -48,6 +48,7 @@ from repro.net.flownet import FlowNetwork
 from repro.net.link import Link
 from repro.net.reference import ReferenceFlowNetwork
 from repro.net.tcp import TcpParams, start_tcp_transfer
+from repro.obs.tracer import NULL_TRACER, EventTracer
 
 ARTIFACT = Path(__file__).resolve().parent / "results" / "flownet_solver.txt"
 
@@ -127,7 +128,7 @@ _TOPOLOGIES = {
 }
 
 
-def run_workload(solver, topology, n_peers):
+def run_workload(solver, topology, n_peers, tracer=NULL_TRACER):
     """Run one workload; return (events, wall_s, completions, end_time)."""
     sim = Simulator()
     network = _SOLVERS[solver](sim)
@@ -145,6 +146,7 @@ def run_workload(solver, topology, n_peers):
                 size,
                 params=params,
                 on_complete=completed.append,
+                tracer=tracer,
             )
 
     for round_index in range(_ROUNDS):
@@ -157,7 +159,7 @@ def run_workload(solver, topology, n_peers):
     return sim.events_fired, wall, len(completed), sim.now
 
 
-def _timed(solver, topology, n_peers):
+def _timed(solver, topology, n_peers, tracer=NULL_TRACER):
     """Best-of-many wall time under a ~1.5 s budget per cell.
 
     Millisecond-scale cells are re-run until the budget is spent and
@@ -165,11 +167,13 @@ def _timed(solver, topology, n_peers):
     scheduler noise, which keeps the CI regression gate from tripping
     on a busy machine.
     """
-    events, wall, done, end = run_workload(solver, topology, n_peers)
+    events, wall, done, end = run_workload(
+        solver, topology, n_peers, tracer
+    )
     spent = wall
     repeats = 1
     while spent < 1.5 and repeats < 400:
-        _, again, _, _ = run_workload(solver, topology, n_peers)
+        _, again, _, _ = run_workload(solver, topology, n_peers, tracer)
         wall = min(wall, again)
         spent += again
         repeats += 1
@@ -288,6 +292,51 @@ def check_regression(rows, baseline):
         )
 
 
+def check_null_tracer_overhead(baseline, n_peers):
+    """Guard the untraced (NullTracer) hot path against regression.
+
+    Every ``tracer.emit`` site in the TCP layer is gated on one
+    attribute check, so a run with :data:`NULL_TRACER` must stay as
+    fast as the committed baseline — if instrumentation starts paying
+    even with tracing disabled, this trips before users notice slower
+    sweeps.  The traced variant is measured alongside purely for the
+    printed overhead figure; only the untraced path is gated.
+    """
+    key = ("star", n_peers, "incremental")
+    if key not in baseline:
+        raise SystemExit(
+            f"no baseline for {key} in {ARTIFACT}; "
+            "re-record it with a full run"
+        )
+    _, null_wall, _, _ = _timed("incremental", "star", n_peers)
+    null_evps = run_workload("incremental", "star", n_peers)[0] / null_wall
+
+    tracer = EventTracer(capacity=100_000)
+    _, traced_wall, _, _ = _timed(
+        "incremental", "star", n_peers, tracer
+    )
+    traced_evps = (
+        run_workload("incremental", "star", n_peers, tracer)[0]
+        / traced_wall
+    )
+
+    floor = baseline[key] * REGRESSION_FLOOR
+    overhead = 1.0 - traced_evps / null_evps
+    status = "ok" if null_evps >= floor else "REGRESSION"
+    print(
+        f"nulltracer star/{n_peers}: untraced {null_evps:.0f} ev/s, "
+        f"traced {traced_evps:.0f} ev/s "
+        f"({overhead:+.1%} tracing overhead), floor {floor:.0f} "
+        f"-> {status}"
+    )
+    if null_evps < floor:
+        raise SystemExit(
+            "untraced (NullTracer) path regressed "
+            f">{(1 - REGRESSION_FLOOR):.0%} below baseline on star/"
+            f"{n_peers}"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -311,7 +360,9 @@ def main(argv=None):
     if args.check:
         if not ARTIFACT.exists():
             raise SystemExit(f"missing baseline artifact: {ARTIFACT}")
-        check_regression(rows, parse_artifact(ARTIFACT.read_text()))
+        baseline = parse_artifact(ARTIFACT.read_text())
+        check_regression(rows, baseline)
+        check_null_tracer_overhead(baseline, sizes[0])
     elif not args.quick:
         ARTIFACT.parent.mkdir(exist_ok=True)
         ARTIFACT.write_text(report + "\n")

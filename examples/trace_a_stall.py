@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Trace a stall: starve a swarm on purpose, then read the trace.
+"""Trace a stall: starve a swarm on purpose, then diagnose it.
 
 Runs one small swarm at deliberately scarce bandwidth so stalls are
 guaranteed, records a full event trace, and then walks the events the
 way docs/OBSERVABILITY.md describes: find a stall, find the request
-that should have prevented it, and watch Eq. 1's pool react.
+that should have prevented it, and watch Eq. 1's pool react.  The
+same stall is then handed to ``repro.obs.analyze``, which reproduces
+the manual verdict automatically for every stall in the run.
 
 Usage::
 
     python examples/trace_a_stall.py [trace.jsonl]
 
 Pass a path to also keep the JSONL trace for
-``python -m repro trace <path>``.
+``python -m repro trace <path>`` and
+``python -m repro analyze <path> --gantt``.
 """
 
 from __future__ import annotations
@@ -26,7 +29,15 @@ from repro import (
     encode_paper_video,
     kB_per_s,
 )
-from repro.obs import dump_jsonl, render_run_report
+from repro.obs import (
+    analyze_observability,
+    attribute_stalls,
+    build_timelines,
+    dump_jsonl,
+    render_cause_table,
+    render_gantt,
+    render_run_report,
+)
 
 
 def main() -> None:
@@ -113,6 +124,26 @@ def main() -> None:
         print(f"  Eq. 1 pool sizes leading up to it: {trail}")
     print()
 
+    # Now let the analyzer do the same forensics for *every* stall.
+    print("The analyzer's verdicts (repro.obs.analyze):")
+    analysis = analyze_observability(obs)
+    verdict = next(
+        a
+        for a in analysis.attributions
+        if a.peer == peer and a.segment == segment
+    )
+    print(
+        f"  our stall above is attributed to '{verdict.cause}': "
+        + "; ".join(verdict.evidence)
+    )
+    print()
+    print(render_cause_table(analysis.causes))
+    print()
+
+    timelines = build_timelines(events)
+    print(render_gantt(timelines, attribute_stalls(timelines)))
+    print()
+
     print(render_run_report(obs))
 
     mean = sum(
@@ -124,6 +155,10 @@ def main() -> None:
         dump_jsonl(events, sys.argv[1])
         print(f"trace written to {sys.argv[1]}")
         print(f"  inspect with: python -m repro trace {sys.argv[1]}")
+        print(
+            f"  diagnose with: python -m repro analyze "
+            f"{sys.argv[1]} --gantt"
+        )
 
 
 if __name__ == "__main__":

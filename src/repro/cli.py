@@ -8,7 +8,9 @@ Commands:
 * ``overhead`` — the splicing byte-overhead table (ablation A3);
 * ``rspec`` — print the experiment's request RSpec XML (Fig. 1);
 * ``timeline`` — run one swarm and render per-peer session timelines;
-* ``trace`` — summarize a JSONL trace written by ``reproduce --trace``.
+* ``trace`` — summarize a JSONL trace written by ``reproduce --trace``;
+* ``analyze`` — diagnose a JSONL trace: per-peer timelines, stall
+  root-cause attribution, and an optional cause-marked Gantt chart.
 """
 
 from __future__ import annotations
@@ -27,12 +29,18 @@ from .experiments.report import format_figure
 from .experiments.timeline import render_timeline
 from .obs import (
     Observability,
+    analyze_events,
+    attribute_stalls,
+    build_timelines,
     dump_jsonl,
     event_counts,
     load_jsonl,
+    render_analysis,
+    render_gantt,
     render_trace_summary,
     summarize_trace,
 )
+from .obs.events import TraceEvent
 from .p2p.swarm import Swarm, SwarmConfig
 from .testbed.rspec import star_rspec
 from .units import kB_per_s
@@ -122,6 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs so its trace stays on a single simulated clock"
         ),
     )
+    reproduce.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "trace + diagnose every run and print a stall-cause "
+            "breakdown next to the figure table (requires --figure)"
+        ),
+    )
+    reproduce.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "live sweep progress on stderr (cells done/running/"
+            "failed); automatically disabled when stderr is not a TTY"
+        ),
+    )
 
     rspec = sub.add_parser("rspec", help="print the slice RSpec XML")
     rspec.add_argument("--peers", type=int, default=19)
@@ -141,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="summarize a JSONL trace file"
     )
     trace.add_argument("path", help="trace written by reproduce --trace")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "diagnose a JSONL trace: timelines + stall root causes"
+        ),
+    )
+    analyze.add_argument(
+        "path", help="trace written by reproduce --trace"
+    )
+    analyze.add_argument(
+        "--gantt",
+        action="store_true",
+        help="also render the cause-marked per-peer Gantt chart",
+    )
+    analyze.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        help="Gantt time-axis width in columns",
+    )
     return parser
 
 
@@ -161,6 +206,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_timeline(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -211,7 +258,7 @@ def _cmd_overhead() -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.reproduce import reproduce_all
-    from .parallel import SweepExecutor
+    from .parallel import SweepExecutor, SweepProgress
 
     config = (
         ExperimentConfig(n_leechers=9, seeds=(7,))
@@ -222,7 +269,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
-    executor = SweepExecutor(jobs=args.jobs)
+    if args.analyze and args.figure is None:
+        print(
+            "error: --analyze requires --figure "
+            "(cause breakdowns are per-figure tables)",
+            file=sys.stderr,
+        )
+        return 2
+    progress = SweepProgress() if args.progress else None
+    executor = SweepExecutor(jobs=args.jobs, progress=progress)
     if args.trace is not None:
         # Fail on an unwritable path now, not after the whole sweep.
         try:
@@ -236,11 +291,20 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         module, precision = _FIGURES[f"fig{args.figure}"]
         if args.quick:
             result = module.run(
-                config, bandwidths_kb=(128, 512), executor=executor
+                config,
+                bandwidths_kb=(128, 512),
+                executor=executor,
+                analyze=args.analyze,
             )
         else:
-            result = module.run(config, executor=executor)
+            result = module.run(
+                config, executor=executor, analyze=args.analyze
+            )
         text = format_figure(result, precision=precision)
+        if args.analyze:
+            from .experiments.report import format_figure_analysis
+
+            text += "\n\n" + format_figure_analysis(result)
     else:
         report = reproduce_all(
             config,
@@ -293,15 +357,21 @@ def _write_representative_trace(
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _load_trace(path: str) -> list[TraceEvent] | None:
+    """Shared trace loader for ``trace`` and ``analyze``.
+
+    Prints the error and returns ``None`` on a malformed or missing
+    file; both commands turn that into exit code 2.
+    """
     try:
-        events = load_jsonl(args.path)
-        summaries = summarize_trace(events)
+        return load_jsonl(path)
     except TraceError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(render_trace_summary(summaries))
-    print()
+        return None
+
+
+def _print_event_counts(events: list[TraceEvent]) -> None:
+    """Event counts per category and per severity."""
     print("Events by category:")
     for category, names in sorted(event_counts(events).items()):
         total = sum(names.values())
@@ -309,6 +379,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"{name} x{count}" for name, count in sorted(names.items())
         )
         print(f"  {category} ({total}): {detail}")
+    print("Events by severity:")
+    severities: dict[str, int] = {}
+    for event in events:
+        severities[event.severity] = (
+            severities.get(event.severity, 0) + 1
+        )
+    for severity, count in sorted(severities.items()):
+        print(f"  {severity}: {count}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events = _load_trace(args.path)
+    if events is None:
+        return 2
+    try:
+        summaries = summarize_trace(events)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_summary(summaries))
+    print()
+    _print_event_counts(events)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    events = _load_trace(args.path)
+    if events is None:
+        return 2
+    analysis = analyze_events(events)
+    print(render_analysis(analysis), end="")
+    if args.gantt:
+        timelines = build_timelines(events)
+        print()
+        print("## Timeline")
+        print()
+        print(
+            render_gantt(
+                timelines,
+                attribute_stalls(timelines),
+                width=max(16, args.width),
+            )
+        )
     return 0
 
 

@@ -22,7 +22,7 @@ from .config import (
     make_swarm_config,
 )
 from .runner import CellResult, FigureResult, run_cell
-from .report import format_figure
+from .report import format_figure, format_figure_analysis
 
 __all__ = [
     "CellResult",
@@ -31,6 +31,7 @@ __all__ = [
     "FigureResult",
     "PAPER_BANDWIDTHS_KB",
     "format_figure",
+    "format_figure_analysis",
     "make_paper_video",
     "make_swarm_config",
     "run_cell",

@@ -39,6 +39,7 @@ def run(
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
     executor: SweepExecutor | None = None,
+    analyze: bool = False,
 ) -> FigureResult:
     """Reproduce Figure 2.
 
@@ -49,6 +50,8 @@ def run(
         obs: optional observability context shared by every cell
             (metrics-only recommended; see :func:`~.runner.run_cell`).
         executor: sweep executor; ``None`` runs serially in-process.
+        analyze: trace + diagnose every run and attach a merged
+            :class:`~repro.obs.analyze.CellAnalysis` to each cell.
 
     Returns:
         Stall-count series per splicing technique.
@@ -67,7 +70,7 @@ def run(
         for spec in specs
         for bw in bandwidths_kb
     ]
-    results = iter(sweep.run_cells(cells, obs=obs))
+    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
     series = {
         spec.technique: [next(results) for _ in bandwidths_kb]
         for spec in specs

@@ -22,6 +22,7 @@ def run(
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
     executor: SweepExecutor | None = None,
+    analyze: bool = False,
 ) -> FigureResult:
     """Reproduce Figure 3 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -38,7 +39,7 @@ def run(
         for spec in specs
         for bw in bandwidths_kb
     ]
-    results = iter(sweep.run_cells(cells, obs=obs))
+    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
     series = {
         spec.technique: [next(results) for _ in bandwidths_kb]
         for spec in specs

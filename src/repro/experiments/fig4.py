@@ -24,6 +24,7 @@ def run(
     bandwidths_kb: tuple[int, ...] = FIG4_BANDWIDTHS_KB,
     obs: Observability | None = None,
     executor: SweepExecutor | None = None,
+    analyze: bool = False,
 ) -> FigureResult:
     """Reproduce Figure 4 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -43,7 +44,7 @@ def run(
         for duration in PAPER_DURATIONS
         for bw in bandwidths_kb
     ]
-    results = iter(sweep.run_cells(cells, obs=obs))
+    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
     series = {
         labels[duration]: [next(results) for _ in bandwidths_kb]
         for duration in PAPER_DURATIONS

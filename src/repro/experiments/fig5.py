@@ -40,6 +40,7 @@ def run(
     bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
     obs: Observability | None = None,
     executor: SweepExecutor | None = None,
+    analyze: bool = False,
 ) -> FigureResult:
     """Reproduce Figure 5 (see module docstring)."""
     cfg = config or ExperimentConfig()
@@ -64,7 +65,7 @@ def run(
         for policy in pool_policies
         for bw in bandwidths_kb
     ]
-    results = iter(sweep.run_cells(cells, obs=obs))
+    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
     series = {
         labels[policy.name]: [next(results) for _ in bandwidths_kb]
         for policy in pool_policies

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..obs.causes import STALL_CAUSES
 from .runner import FigureResult
 
 _UNITS = {
@@ -56,6 +57,76 @@ def format_figure(result: FigureResult, precision: int = 1) -> str:
         )
     header.append(rule)
     return "\n".join(header)
+
+
+def format_figure_analysis(result: FigureResult) -> str:
+    """The stall-cause breakdown table for an analyzed figure.
+
+    One row per (series, bandwidth) cell that carries an analysis,
+    one column per cause in taxonomy order, plus the cell's health
+    aggregates.  Returns a short notice when the figure was run
+    without ``analyze=True``.
+    """
+    rows: list[tuple[str, object]] = []
+    for label, cells in result.series.items():
+        for cell in cells:
+            if cell.analysis is not None:
+                rows.append(
+                    (f"{label} @ {int(cell.bandwidth_kb)} kB/s", cell)
+                )
+    if not rows:
+        return (
+            f"{result.figure}: no stall diagnosis attached "
+            "(run with analyze=True / --analyze)"
+        )
+
+    label_width = max(len("cell"), max(len(r[0]) for r in rows))
+    short = {
+        "churn-loss": "churn",
+        "oversized-segment": "oversized",
+        "pool-undersubscription": "pool",
+        "seeder-bottleneck": "seeder",
+        "connection-overhead": "conn",
+        "startup": "startup",
+    }
+    columns = [short[c] for c in STALL_CAUSES] + ["total", "eff", "warn"]
+    widths = [max(len(c), 6) for c in columns]
+    rule = "-" * (label_width + 3 + sum(w + 3 for w in widths))
+    lines = [
+        f"{result.figure}  stall causes per cell "
+        "(totals across the cell's seeds)",
+        rule,
+        "cell".ljust(label_width)
+        + " | "
+        + " | ".join(c.rjust(w) for c, w in zip(columns, widths)),
+        rule,
+    ]
+    for label, cell in rows:
+        analysis = cell.analysis
+        values = [
+            str(analysis.causes.get(cause, 0)) for cause in STALL_CAUSES
+        ]
+        values.append(str(analysis.stall_count))
+        values.append(
+            f"{analysis.mean_transfer_efficiency:.2f}"
+            if analysis.mean_transfer_efficiency is not None
+            else "-"
+        )
+        warn = analysis.violation_count + analysis.truncated_runs
+        values.append(str(warn) if warn else "-")
+        lines.append(
+            label.ljust(label_width)
+            + " | "
+            + " | ".join(v.rjust(w) for v, w in zip(values, widths))
+        )
+    lines.append(rule)
+    lines.append(
+        "causes: churn=churn-loss  oversized=oversized-segment  "
+        "pool=pool-undersubscription  seeder=seeder-bottleneck  "
+        "conn=connection-overhead  | eff=transfer efficiency  "
+        "warn=violations+truncated runs"
+    )
+    return "\n".join(lines)
 
 
 def format_cells_csv(result: FigureResult) -> str:

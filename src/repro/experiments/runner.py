@@ -17,6 +17,7 @@ from typing import Sequence
 from ..core.policy import DownloadPolicy
 from ..core.segments import SpliceResult
 from ..errors import ExperimentError
+from ..obs.analyze import CellAnalysis, RunAnalysis, merge_analyses
 from ..obs.context import Observability
 from ..p2p.swarm import Swarm, SwarmResult
 from .config import ExperimentConfig, make_swarm_config
@@ -35,6 +36,8 @@ class CellResult:
         seeder_bytes: mean bytes served by the seeder per run.
         peer_bytes: mean bytes served peer-to-peer per run.
         finished_fraction: fraction of peers that finished playback.
+        analysis: stall diagnosis aggregated over the cell's seeds
+            (only populated by analyzing sweeps; ``None`` otherwise).
     """
 
     bandwidth_kb: float
@@ -44,6 +47,7 @@ class CellResult:
     seeder_bytes: float
     peer_bytes: float
     finished_fraction: float
+    analysis: CellAnalysis | None = None
 
     @property
     def rounded_stalls(self) -> int:
@@ -120,13 +124,19 @@ def seed_stats(
 
 
 def merge_cell(
-    bandwidth_kb: float, stats: Sequence[SeedStats]
+    bandwidth_kb: float,
+    stats: Sequence[SeedStats],
+    analyses: Sequence[RunAnalysis] | None = None,
 ) -> CellResult:
     """Average per-seed stats (in seed order) into one cell.
 
     Both execution paths — the serial loop below and the parallel
     executor's deterministic merge — call exactly this function, so a
     cell's floats are identical regardless of worker count.
+
+    Args:
+        analyses: per-seed stall diagnoses (in seed order) from an
+            analyzing sweep; merged onto the cell when given.
     """
     if not stats:
         raise ExperimentError("cannot merge a cell with no seed runs")
@@ -140,6 +150,7 @@ def merge_cell(
         finished_fraction=statistics.fmean(
             s.finished_fraction for s in stats
         ),
+        analysis=merge_analyses(analyses) if analyses else None,
     )
 
 

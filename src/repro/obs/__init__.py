@@ -16,7 +16,11 @@ every other subsystem records into:
   threaded through :class:`~repro.p2p.swarm.Swarm` and the experiment
   harness;
 * :mod:`repro.obs.export` — JSONL traces, CSV timeseries, and the
-  human-readable run report.
+  human-readable run report;
+* :mod:`repro.obs.analyze` (with :mod:`~repro.obs.timeline`,
+  :mod:`~repro.obs.causes`, :mod:`~repro.obs.render`) — the diagnosis
+  layer: per-peer timeline reconstruction, stall root-cause
+  attribution, swarm-health rollups, and the cause-marked ASCII Gantt.
 
 Tracing a run::
 
@@ -29,6 +33,24 @@ Tracing a run::
     print(render_run_report(obs))
 """
 
+from .analyze import (
+    CellAnalysis,
+    RunAnalysis,
+    analyze_events,
+    analyze_file,
+    analyze_observability,
+    merge_analyses,
+    render_analysis,
+    render_attributions,
+    render_cause_table,
+)
+from .causes import (
+    SEEDER_CONCURRENCY_THRESHOLD,
+    STALL_CAUSES,
+    StallAttribution,
+    attribute_stalls,
+    cause_histogram,
+)
 from .context import Observability
 from .events import (
     EVENT_TYPES,
@@ -75,43 +97,73 @@ from .metrics import (
     TimeWeightedHistogram,
 )
 from .profile import EngineProfile, handler_category
+from .render import CAUSE_SYMBOLS, render_gantt
+from .timeline import (
+    InvariantViolation,
+    PeerTimeline,
+    PoolDecision,
+    SegmentFetch,
+    StallSpan,
+    TimelineSet,
+    TransferRecord,
+    build_timelines,
+)
 from .tracer import NULL_TRACER, EventTracer, NullTracer, Tracer
 
 __all__ = [
+    "CAUSE_SYMBOLS",
     "EVENT_TYPES",
     "NULL_TRACER",
+    "SEEDER_CONCURRENCY_THRESHOLD",
     "SEVERITIES",
+    "STALL_CAUSES",
+    "CellAnalysis",
     "Counter",
     "EngineProfile",
     "EventTracer",
     "FlowRateChanged",
     "Gauge",
     "HistogramSummary",
+    "InvariantViolation",
     "ManifestReceived",
     "MetricsRegistry",
     "NullTracer",
     "Observability",
     "PeerDeparted",
     "PeerJoined",
+    "PeerTimeline",
     "PeerTraceSummary",
     "PieceReceived",
     "PlaybackFinished",
     "PlaybackStarted",
+    "PoolDecision",
     "PoolResized",
     "RequestTimedOut",
+    "RunAnalysis",
+    "SegmentFetch",
     "SegmentRequested",
     "SelectionMade",
     "SimulationCompleted",
     "SimulationStarted",
+    "StallAttribution",
     "StallEnded",
+    "StallSpan",
     "StallStarted",
+    "TimelineSet",
     "Timeseries",
     "TimeWeightedHistogram",
     "TraceEvent",
     "Tracer",
     "TransferCancelled",
     "TransferCompleted",
+    "TransferRecord",
     "TransferStarted",
+    "analyze_events",
+    "analyze_file",
+    "analyze_observability",
+    "attribute_stalls",
+    "build_timelines",
+    "cause_histogram",
     "dump_jsonl",
     "event_counts",
     "event_from_dict",
@@ -119,6 +171,11 @@ __all__ = [
     "events_to_jsonl",
     "handler_category",
     "load_jsonl",
+    "merge_analyses",
+    "render_analysis",
+    "render_attributions",
+    "render_cause_table",
+    "render_gantt",
     "render_run_report",
     "render_trace_summary",
     "summarize_trace",

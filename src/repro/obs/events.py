@@ -291,12 +291,16 @@ class SegmentRequested(TraceEvent):
         segment: segment index.
         source: whom it asked.
         urgent: whether the request was playback-critical.
+        expected_size: the segment's manifest size in bytes — the ``W``
+            of Eq. 1, recorded so stall attribution never has to join
+            against the splice table (-1.0 in pre-enrichment traces).
     """
 
     peer: str
     segment: int
     source: str
     urgent: bool
+    expected_size: float = -1.0
 
     category: ClassVar[str] = "leecher"
 
@@ -411,10 +415,13 @@ class StallStarted(TraceEvent):
     Attributes:
         peer: the stalling peer.
         segment: the missing segment blocking playback.
+        expected_size: the blocking segment's manifest size in bytes
+            (-1.0 when unknown, e.g. in pre-enrichment traces).
     """
 
     peer: str
     segment: int
+    expected_size: float = -1.0
 
     category: ClassVar[str] = "player"
     severity: ClassVar[str] = "warning"
@@ -428,11 +435,14 @@ class StallEnded(TraceEvent):
         peer: the peer that resumed.
         segment: the segment whose arrival unblocked playback.
         duration: stall length in seconds.
+        expected_size: the unblocking segment's manifest size in bytes
+            (-1.0 when unknown, e.g. in pre-enrichment traces).
     """
 
     peer: str
     segment: int
     duration: float
+    expected_size: float = -1.0
 
     category: ClassVar[str] = "player"
     severity: ClassVar[str] = "warning"

@@ -79,6 +79,7 @@ class EventTracer:
         )
         self._min_rank = severity_rank(min_severity)
         self.dropped = 0  # filtered out (not ring-buffer evictions)
+        self.evicted = 0  # pushed off the front of a full ring buffer
 
     @property
     def capacity(self) -> int | None:
@@ -96,6 +97,11 @@ class EventTracer:
         if severity_rank(event.severity) < self._min_rank:
             self.dropped += 1
             return
+        if (
+            self._buffer.maxlen is not None
+            and len(self._buffer) == self._buffer.maxlen
+        ):
+            self.evicted += 1
         self._buffer.append(event)
 
     def events(self) -> list[TraceEvent]:
@@ -106,6 +112,7 @@ class EventTracer:
         """Forget every retained event."""
         self._buffer.clear()
         self.dropped = 0
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._buffer)

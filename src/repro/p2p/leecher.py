@@ -308,6 +308,7 @@ class Leecher(PeerBase):
             preroll_segments=self._config.preroll_segments,
             tracer=self._tracer,
             peer=self.name,
+            segment_sizes=self.segment_sizes,
         )
         if self._tracer.enabled:
             self._tracer.emit(
@@ -516,6 +517,9 @@ class Leecher(PeerBase):
                     segment=index,
                     source=source,
                     urgent=urgent,
+                    expected_size=float(
+                        self.segment_sizes.get(index, -1.0)
+                    ),
                 )
             )
         if self._metrics is not None:
@@ -585,6 +589,9 @@ class Leecher(PeerBase):
                     segment=index,
                     source=alternative,
                     urgent=urgent,
+                    expected_size=float(
+                        self.segment_sizes.get(index, -1.0)
+                    ),
                 )
             )
         if self._metrics is not None:

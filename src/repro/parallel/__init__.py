@@ -14,6 +14,7 @@ from .executor import (
     SweepStats,
     default_jobs,
 )
+from .progress import NULL_PROGRESS, SweepProgress
 from .snapshot import MetricsSnapshot, merge_snapshot, snapshot_registry
 from .spec import (
     CellSpec,
@@ -29,11 +30,13 @@ __all__ = [
     "CellSpec",
     "JOBS_ENV_VAR",
     "MetricsSnapshot",
+    "NULL_PROGRESS",
     "RunOutcome",
     "RunSpec",
     "SplicerSpec",
     "SquareWave",
     "SweepExecutor",
+    "SweepProgress",
     "SweepStats",
     "VideoSpec",
     "cached_splice",

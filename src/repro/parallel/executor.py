@@ -22,13 +22,16 @@ every failure after the surviving runs completed.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..errors import ExperimentError, SweepError
 from ..experiments.runner import CellResult, merge_cell
+from ..obs.analyze import analyze_observability
 from ..obs.context import Observability
+from .progress import NULL_PROGRESS, SweepProgress
 from .snapshot import merge_snapshot
 from .spec import CellSpec, RunSpec
 from .worker import RunOutcome, execute_run, pool_entry
@@ -90,10 +93,17 @@ class SweepExecutor:
             reported as failed outcomes naming their cell (best
             effort: already-running workers are abandoned, not
             killed).
+        progress: optional live progress reporter, notified once per
+            finished run in completion order.  Display only: it never
+            influences results, and it silences itself when its stream
+            is not a TTY.
     """
 
     def __init__(
-        self, jobs: int | None = None, timeout: float | None = None
+        self,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        progress: SweepProgress | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1: {jobs}")
@@ -103,6 +113,7 @@ class SweepExecutor:
             )
         self.jobs = jobs if jobs is not None else default_jobs()
         self.timeout = timeout
+        self.progress = progress if progress is not None else NULL_PROGRESS
         self._stats = SweepStats()
 
     @property
@@ -114,6 +125,7 @@ class SweepExecutor:
         self,
         specs: Sequence[RunSpec],
         obs: Observability | None = None,
+        analyze: bool = False,
     ) -> list[RunOutcome]:
         """Execute runs and return outcomes in (cell, seed) order.
 
@@ -124,28 +136,75 @@ class SweepExecutor:
         isolates failures into the returned outcomes and, when ``obs``
         is given, reduces each worker's metrics snapshot into
         ``obs.registry`` in deterministic order.
+
+        Args:
+            analyze: trace every run into a private ring buffer and
+                attach a :class:`~repro.obs.analyze.RunAnalysis` to
+                its outcome.  Each analysis is computed from that
+                run's own trace where the run executed, so verdicts
+                are identical at any worker count.
         """
         specs = list(specs)
         in_process = self.jobs == 1 or (
             obs is not None and obs.tracing_enabled
         )
-        if in_process:
-            outcomes = [
-                execute_run(replace(spec, collect_metrics=False), obs)
-                for spec in specs
-            ]
-        else:
-            outcomes = self._map_pool(specs, collect=obs is not None)
-            outcomes.sort(key=lambda o: (o.cell_index, o.seed_index))
-            if obs is not None:
-                for outcome in outcomes:
-                    if outcome.metrics is not None:
-                        merge_snapshot(obs.registry, outcome.metrics)
+        progress = self.progress
+        progress.begin(specs)
+        try:
+            if in_process:
+                outcomes = []
+                for spec in specs:
+                    spec = replace(spec, collect_metrics=False)
+                    if analyze:
+                        outcome = self._run_analyzed(spec, obs)
+                    else:
+                        outcome = execute_run(spec, obs)
+                    progress.update(outcome)
+                    outcomes.append(outcome)
+            else:
+                outcomes = self._map_pool(
+                    specs, collect=obs is not None, analyze=analyze
+                )
+                outcomes.sort(
+                    key=lambda o: (o.cell_index, o.seed_index)
+                )
+                if obs is not None:
+                    for outcome in outcomes:
+                        if outcome.metrics is not None:
+                            merge_snapshot(obs.registry, outcome.metrics)
+        finally:
+            progress.finish()
         self._account(outcomes)
         return outcomes
 
+    @staticmethod
+    def _run_analyzed(
+        spec: RunSpec, obs: Observability | None
+    ) -> RunOutcome:
+        """In-process analyzed run: private trace, shared registry.
+
+        The run records into a fresh tracer configured exactly like
+        the pool workers' (:meth:`Observability.tracing`), while
+        metrics still accumulate into the caller's registry.  When the
+        caller's own tracer is live, the run's events are replayed
+        into it afterwards so an analyzing sweep still fills the
+        caller's trace.
+        """
+        run_obs = Observability.tracing()
+        if obs is not None:
+            run_obs.registry = obs.registry
+            run_obs.profile = obs.profile
+        outcome = execute_run(spec, run_obs)
+        outcome = replace(
+            outcome, analysis=analyze_observability(run_obs)
+        )
+        if obs is not None and obs.tracer.enabled:
+            for event in run_obs.events():
+                obs.tracer.emit(event)
+        return outcome
+
     def _map_pool(
-        self, specs: list[RunSpec], collect: bool
+        self, specs: list[RunSpec], collect: bool, analyze: bool = False
     ) -> list[RunOutcome]:
         workers = max(1, min(self.jobs, len(specs)))
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -154,14 +213,36 @@ class SweepExecutor:
         try:
             futures = {
                 pool.submit(
-                    pool_entry, replace(spec, collect_metrics=collect)
+                    pool_entry,
+                    replace(
+                        spec,
+                        collect_metrics=collect,
+                        collect_analysis=analyze,
+                    ),
                 ): spec
                 for spec in specs
             }
-            _, not_done = wait(futures, timeout=self.timeout)
-            timed_out = bool(not_done)
-            for future, spec in futures.items():
-                if future in not_done:
+            yielded: set = set()
+            try:
+                # Consume in completion order so the progress reporter
+                # sees runs as workers finish; determinism comes from
+                # the caller's (cell, seed) sort afterwards.
+                for future in as_completed(
+                    futures, timeout=self.timeout
+                ):
+                    yielded.add(future)
+                    outcomes.append(
+                        self._settle(future, futures[future])
+                    )
+                    self.progress.update(outcomes[-1])
+            except FuturesTimeout:
+                timed_out = True
+                for future, spec in futures.items():
+                    if future in yielded:
+                        continue
+                    if future.done():
+                        outcomes.append(self._settle(future, spec))
+                        continue
                     future.cancel()
                     outcomes.append(
                         self._failed(
@@ -170,21 +251,17 @@ class SweepExecutor:
                             f"({self.timeout}s) exceeded",
                         )
                     )
-                    continue
-                try:
-                    outcomes.append(future.result())
-                except BaseException as exc:  # noqa: BLE001
-                    # A worker died hard (e.g. the pool broke) or the
-                    # outcome failed to unpickle; blame the run, keep
-                    # the sweep.
-                    outcomes.append(
-                        self._failed(
-                            spec, f"{type(exc).__name__}: {exc}"
-                        )
-                    )
         finally:
             pool.shutdown(wait=not timed_out, cancel_futures=True)
         return outcomes
+
+    def _settle(self, future, spec: RunSpec) -> RunOutcome:
+        try:
+            return future.result()
+        except BaseException as exc:  # noqa: BLE001
+            # A worker died hard (e.g. the pool broke) or the outcome
+            # failed to unpickle; blame the run, keep the sweep.
+            return self._failed(spec, f"{type(exc).__name__}: {exc}")
 
     @staticmethod
     def _failed(spec: RunSpec, error: str) -> RunOutcome:
@@ -220,12 +297,16 @@ class SweepExecutor:
         self,
         cells: Sequence[CellSpec],
         obs: Observability | None = None,
+        analyze: bool = False,
     ) -> list[CellResult]:
         """Run every seed of every cell; merge to cells in input order.
 
         Args:
             cells: the sweep, one spec per experimental cell.
             obs: optional observability context (see :meth:`map_runs`).
+            analyze: also trace + diagnose every run and attach the
+                merged :class:`~repro.obs.analyze.CellAnalysis` to
+                each cell's result.
 
         Returns:
             One seed-averaged :class:`CellResult` per input cell, in
@@ -246,7 +327,7 @@ class SweepExecutor:
             for cell_index, cell in enumerate(cells)
             for seed_index, seed in enumerate(cell.config.seeds)
         ]
-        outcomes = self.map_runs(specs, obs=obs)
+        outcomes = self.map_runs(specs, obs=obs, analyze=analyze)
         failures = [o for o in outcomes if not o.ok]
         if failures:
             detail = "; ".join(
@@ -263,9 +344,14 @@ class SweepExecutor:
             count = len(cell.config.seeds)
             group = outcomes[position : position + count]
             position += count
+            analyses = [
+                o.analysis for o in group if o.analysis is not None
+            ]
             results.append(
                 merge_cell(
-                    cell.bandwidth_kb, [o.stats for o in group]
+                    cell.bandwidth_kb,
+                    [o.stats for o in group],
+                    analyses=analyses if analyze else None,
                 )
             )
         return results

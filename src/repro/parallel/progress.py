@@ -1,0 +1,138 @@
+"""Live sweep progress: one rewriting status line on stderr.
+
+Long sweeps (19 leechers x 4 bandwidths x 3 seeds x several splicing
+techniques) run for minutes with no output; this reporter makes them
+observable while they run — cells completed / running / failed, plus
+the per-cell stall totals as workers finish — without touching stdout,
+where the figure tables go.
+
+Off by default, and **forced off when the stream is not a TTY**: CI
+logs and redirected output never see control characters, and a
+disabled reporter costs one attribute check per run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence, TextIO
+
+from .spec import RunSpec
+from .worker import RunOutcome
+
+
+class SweepProgress:
+    """Single-line live progress for one or more sweeps.
+
+    The executor drives it: :meth:`begin` with the expanded run specs,
+    :meth:`update` once per finished run (in completion order — on the
+    pool path that is non-deterministic, which is fine: progress is
+    display, never data), :meth:`finish` when the sweep returns.
+
+    Args:
+        stream: where to write (default ``sys.stderr``).
+        enabled: caller's request; AND-ed with ``stream.isatty()``.
+    """
+
+    def __init__(
+        self, stream: TextIO | None = None, enabled: bool = True
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self._stream, "isatty", None)
+        self.enabled = bool(enabled) and bool(
+            isatty() if callable(isatty) else False
+        )
+        self._width = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._total: dict[int, int] = {}
+        self._done: dict[int, int] = {}
+        self._failed: dict[int, int] = {}
+        self._stalls: dict[int, float] = {}
+        self._labels: dict[int, str] = {}
+        self._runs_done = 0
+        self._runs_total = 0
+
+    def begin(self, specs: Sequence[RunSpec]) -> None:
+        """Register the sweep's run specs before execution starts."""
+        if not self.enabled:
+            return
+        self._reset()
+        for spec in specs:
+            index = spec.cell_index
+            self._total[index] = self._total.get(index, 0) + 1
+            self._labels.setdefault(index, spec.cell.describe())
+        self._runs_total = len(specs)
+        self._render("starting")
+
+    def update(self, outcome: RunOutcome) -> None:
+        """Record one finished run and redraw the status line."""
+        if self.enabled:
+            self._ingest(outcome)
+
+    def finish(self) -> None:
+        """End the sweep: leave the final counts on their own line."""
+        if not self.enabled:
+            return
+        self._render("done")
+        self._stream.write("\n")
+        self._stream.flush()
+        self._width = 0
+
+    # ------------------------------------------------------------------
+
+    def _ingest(self, outcome: RunOutcome) -> None:
+        index = outcome.cell_index
+        self._runs_done += 1
+        self._done[index] = self._done.get(index, 0) + 1
+        if not outcome.ok:
+            self._failed[index] = self._failed.get(index, 0) + 1
+        elif outcome.stats is not None:
+            self._stalls[index] = (
+                self._stalls.get(index, 0.0) + outcome.stats.stall_count
+            )
+        label = self._labels.get(index) or outcome.label
+        if outcome.ok:
+            done = self._done[index]
+            mean_stalls = self._stalls.get(index, 0.0) / max(1, done)
+            last = (
+                f"{label} seed {outcome.seed}: "
+                f"{mean_stalls:.1f} stalls/peer"
+            )
+        else:
+            last = f"{label} seed {outcome.seed}: FAILED"
+        self._render(last)
+
+    def _render(self, last: str) -> None:
+        completed = sum(
+            1
+            for index, total in self._total.items()
+            if self._done.get(index, 0) >= total
+        )
+        running = sum(
+            1
+            for index, total in self._total.items()
+            if 0 < self._done.get(index, 0) < total
+        )
+        failed = sum(1 for index in self._failed if self._failed[index])
+        line = (
+            f"sweep: {completed}/{len(self._total)} cells done"
+            f" ({running} running, {failed} failed;"
+            f" {self._runs_done}/{self._runs_total} runs) | {last}"
+        )
+        pad = max(0, self._width - len(line))
+        self._stream.write("\r" + line + " " * pad)
+        self._stream.flush()
+        self._width = len(line)
+
+
+#: The reporter used when none is requested: every call is a no-op.
+class _NullProgress(SweepProgress):
+    def __init__(self) -> None:  # noqa: D107 - trivial
+        self._stream = None  # type: ignore[assignment]
+        self.enabled = False
+        self._width = 0
+        self._reset()
+
+
+NULL_PROGRESS = _NullProgress()

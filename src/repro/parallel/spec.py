@@ -208,6 +208,12 @@ class RunSpec:
         collect_metrics: when true, a worker process records the run
             into a fresh metrics-only registry and ships a snapshot
             back for the deterministic parent-side reduction.
+        collect_analysis: when true, the run is traced into a private
+            ring buffer and reduced to a picklable
+            :class:`~repro.obs.analyze.RunAnalysis` where it executed
+            — only the analysis crosses the process boundary, never
+            the trace, so attribution is identical at any worker
+            count.
     """
 
     cell: CellSpec
@@ -215,3 +221,4 @@ class RunSpec:
     cell_index: int
     seed_index: int
     collect_metrics: bool = False
+    collect_analysis: bool = False

@@ -20,6 +20,7 @@ from time import perf_counter
 
 from ..experiments.config import make_swarm_config
 from ..experiments.runner import SeedStats, seed_stats
+from ..obs.analyze import RunAnalysis, analyze_observability
 from ..obs.context import Observability
 from ..p2p.swarm import Swarm
 from ..units import kB_per_s
@@ -42,6 +43,9 @@ class RunOutcome:
         wall_seconds: wall-clock time the run took where it executed.
         metrics: registry snapshot (pool runs with metrics collection
             only).
+        analysis: the run's stall diagnosis (analyzing sweeps only);
+            computed from the run's private trace where the run
+            executed, so it is identical at any worker count.
     """
 
     cell_index: int
@@ -52,6 +56,7 @@ class RunOutcome:
     error: str | None = None
     wall_seconds: float = 0.0
     metrics: MetricsSnapshot | None = None
+    analysis: RunAnalysis | None = None
 
     @property
     def ok(self) -> bool:
@@ -122,7 +127,15 @@ def execute_run(
 
 def pool_entry(spec: RunSpec) -> RunOutcome:
     """Worker-process entry point: never raises, always an outcome."""
-    obs = Observability.metrics_only() if spec.collect_metrics else None
+    if spec.collect_analysis:
+        # Same tracer configuration as the executor's in-process
+        # analyzing path — the trace, and therefore the attribution,
+        # must not depend on where the run executed.
+        obs = Observability.tracing()
+    elif spec.collect_metrics:
+        obs = Observability.metrics_only()
+    else:
+        obs = None
     try:
         outcome = execute_run(spec, obs)
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
@@ -133,8 +146,12 @@ def pool_entry(spec: RunSpec) -> RunOutcome:
             label=spec.cell.describe(),
             error=f"{type(exc).__name__}: {exc}",
         )
-    if obs is not None:
+    if obs is not None and spec.collect_metrics:
         outcome = replace(
             outcome, metrics=snapshot_registry(obs.registry)
+        )
+    if obs is not None and spec.collect_analysis:
+        outcome = replace(
+            outcome, analysis=analyze_observability(obs)
         )
     return outcome

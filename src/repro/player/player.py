@@ -11,7 +11,7 @@ segment lands.
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from typing import Callable, Mapping
 
 from ..errors import PlaybackError
 from ..net.engine import EventHandle, Simulator
@@ -54,6 +54,10 @@ class Player:
         tracer: where playback lifecycle events (PlaybackStarted,
             StallStarted/Ended, PlaybackFinished) go; disabled default.
         peer: the peer name stamped on every emitted event.
+        segment_sizes: optional ``index -> bytes`` lookup (typically the
+            leecher's live manifest table) so stall events can carry
+            the blocking segment's expected size for attribution;
+            sizes missing from the mapping are recorded as -1.0.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class Player:
         preroll_segments: int = 1,
         tracer: Tracer = NULL_TRACER,
         peer: str = "",
+        segment_sizes: Mapping[int, float] | None = None,
     ) -> None:
         if preroll_segments < 1:
             raise PlaybackError(
@@ -84,6 +89,7 @@ class Player:
         )
         self._tracer = tracer
         self._peer = peer
+        self._segment_sizes = segment_sizes
         self._current: int | None = None  # segment at the playhead
         self._segment_started_at = 0.0
         self._boundary_event: EventHandle | None = None
@@ -149,6 +155,7 @@ class Player:
                         peer=self._peer,
                         segment=index,
                         duration=stall.duration,
+                        expected_size=self._expected_size(index),
                     )
                 )
             self._start_segment(index)
@@ -177,6 +184,11 @@ class Player:
         return played
 
     # ------------------------------------------------------------------
+
+    def _expected_size(self, index: int) -> float:
+        if self._segment_sizes is None:
+            return -1.0
+        return float(self._segment_sizes.get(index, -1.0))
 
     def _start_segment(self, index: int) -> None:
         self._current = index
@@ -211,7 +223,10 @@ class Player:
             if self._tracer.enabled:
                 self._tracer.emit(
                     StallStarted(
-                        time=self._sim.now, peer=self._peer, segment=nxt
+                        time=self._sim.now,
+                        peer=self._peer,
+                        segment=nxt,
+                        expected_size=self._expected_size(nxt),
                     )
                 )
             self._transition(PlayerState.STALLED)

@@ -49,6 +49,7 @@ def _one_of_each():
         "segment": 7,
         "source": "seeder",
         "urgent": True,
+        "expected_size": 4096.0,
         "wait": 0.75,
         "retry_source": "peer-2",
         "buffered_playtime": 8.0,
