@@ -8,18 +8,38 @@ startup time instead.
 
 from __future__ import annotations
 
+import statistics
+
 from repro.experiments.abr_study import format_rows, run as run_abr
 
+_BANDWIDTHS_KB = (96, 128, 192, 256)
 
-def test_ablation_abr_vs_duration(benchmark, emit):
-    rows = benchmark.pedantic(
+
+def run_suite(harness, quick=False):
+    rows = harness.case(
+        "abr_vs_duration",
         run_abr,
-        kwargs={"bandwidths_kb": (96, 128, 192, 256)},
-        rounds=1,
-        iterations=1,
+        kwargs={"bandwidths_kb": _BANDWIDTHS_KB},
+        params={"bandwidths_kb": list(_BANDWIDTHS_KB)},
+        digest_of=("abr_study", _BANDWIDTHS_KB),
     )
-    emit(format_rows(rows))
+    by_strategy: dict[str, list] = {}
+    for row in rows:
+        by_strategy.setdefault(row.strategy, []).append(row)
+    harness.annotate(
+        **{
+            f"{strategy}.mean_stalls": statistics.fmean(
+                row.stalls for row in group
+            )
+            for strategy, group in by_strategy.items()
+        }
+    )
+    harness.emit(format_rows(rows), name="ablation_abr_vs_duration")
+    _check(rows)
+    return rows
 
+
+def _check(rows):
     def cell(strategy_prefix, bw):
         return next(
             row
@@ -44,3 +64,7 @@ def test_ablation_abr_vs_duration(benchmark, emit):
     # ABR's instability: it switches renditions, the others never do.
     assert cell("abr", 96).switches > 0
     assert cell("duration-adaptive", 96).switches == 0
+
+
+def test_ablation_abr_vs_duration(harness):
+    run_suite(harness)

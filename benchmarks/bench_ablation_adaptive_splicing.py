@@ -10,32 +10,52 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_adaptive_splicing
 from repro.experiments.report import format_figure
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_ablation_adaptive_splicing(
-    benchmark, experiment_config, paper_video, emit
-):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    kwargs = {"config": config, "video": video, "executor": executor}
+    if quick:
+        kwargs["bandwidths_kb"] = (128, 512)
+    result = harness.case(
+        "adaptive_vs_fixed4s",
         run_adaptive_splicing,
-        kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-        },
-        rounds=1,
-        iterations=1,
+        kwargs=kwargs,
+        params={"quick": quick, "n_leechers": config.n_leechers},
+        digest_of=(
+            "adaptive_splicing", config, kwargs.get("bandwidths_kb")
+        ),
     )
-    emit(format_figure(result))
+    harness.annotate(
+        events_fired=executor.stats.events_fired,
+        sim_seconds=executor.stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result), name="ablation_adaptive_splicing"
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     adaptive = _by_bw(result.series["adaptive duration"])
     fixed = _by_bw(result.series["fixed 4s"])
-
     # Where it matters (the scarce end) the planner must not lose to
     # the fixed default it would replace.
     assert adaptive[128].stall_count <= fixed[128].stall_count + 1.0
     # At high bandwidth the planner picks short segments, which buy a
     # faster startup.
     assert adaptive[768].startup_time <= fixed[768].startup_time
+
+
+def test_ablation_adaptive_splicing(harness):
+    run_suite(harness)

@@ -9,24 +9,44 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_churn
 from repro.experiments.report import format_figure
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 FRACTIONS = (0.0, 0.25, 0.5)
 
 
-def test_ablation_churn(benchmark, experiment_config, paper_video, emit):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    result = harness.case(
+        "churn@256",
         run_churn,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
+            "config": config,
+            "video": video,
             "bandwidth_kb": 256,
             "churn_fractions": FRACTIONS,
+            "executor": executor,
         },
-        rounds=1,
-        iterations=1,
+        params={
+            "quick": quick,
+            "bandwidth_kb": 256,
+            "churn_fractions": list(FRACTIONS),
+        },
+        digest_of=("churn", config, 256, FRACTIONS),
     )
-    emit(format_figure(result))
+    harness.annotate(
+        events_fired=executor.stats.events_fired,
+        sim_seconds=executor.stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(format_figure(result), name="ablation_churn")
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     cells = {
         label: cells[0].stall_count
         for label, cells in result.series.items()
@@ -36,3 +56,7 @@ def test_ablation_churn(benchmark, experiment_config, paper_video, emit):
     # the seeder backstops departed sources.
     baseline = max(cells["churn 0%"], 0.5)
     assert cells["churn 50%"] <= 10 * baseline
+
+
+def test_ablation_churn(harness):
+    run_suite(harness)

@@ -9,15 +9,24 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_overhead
 
+_DURATIONS = (1.0, 2.0, 4.0, 8.0)
 
-def test_ablation_splicing_overhead(benchmark, paper_video, emit):
-    rows = benchmark.pedantic(
+
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    rows = harness.case(
+        "splice_overhead",
         run_overhead,
-        kwargs={"video": paper_video},
-        rounds=1,
-        iterations=1,
+        kwargs={"video": video, "durations": _DURATIONS},
+        params={"durations": list(_DURATIONS)},
+        digest_of=("overhead", config.video_seed, _DURATIONS),
     )
-
+    harness.annotate(
+        **{
+            f"{row.technique}.overhead_pct": row.overhead_percent
+            for row in rows
+        }
+    )
     lines = [
         f"{'technique':12s} {'segments':>8s} {'total MB':>9s} "
         f"{'overhead':>9s}"
@@ -28,8 +37,12 @@ def test_ablation_splicing_overhead(benchmark, paper_video, emit):
             f"{row.total_bytes / 1e6:9.2f} "
             f"{row.overhead_percent:8.1f}%"
         )
-    emit("\n".join(lines))
+    harness.emit("\n".join(lines), name="ablation_splicing_overhead")
+    _check(rows)
+    return rows
 
+
+def _check(rows):
     by_name = {row.technique: row for row in rows}
     assert by_name["gop"].overhead_bytes == 0
     # Overhead shrinks monotonically as segments grow.
@@ -39,3 +52,7 @@ def test_ablation_splicing_overhead(benchmark, paper_video, emit):
     assert percents == sorted(percents, reverse=True)
     # The 1-second extreme is "much more data": several percent.
     assert percents[0] > 5.0
+
+
+def test_ablation_splicing_overhead(harness):
+    run_suite(harness)

@@ -9,22 +9,44 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_preroll
 from repro.experiments.report import format_figure
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
+
+_PREROLLS = (1, 2, 3)
 
 
-def test_ablation_preroll(benchmark, experiment_config, paper_video, emit):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    result = harness.case(
+        "preroll@256",
         run_preroll,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
+            "config": config,
+            "video": video,
             "bandwidth_kb": 256,
-            "prerolls": (1, 2, 3),
+            "prerolls": _PREROLLS,
+            "executor": executor,
         },
-        rounds=1,
-        iterations=1,
+        params={
+            "quick": quick,
+            "bandwidth_kb": 256,
+            "prerolls": list(_PREROLLS),
+        },
+        digest_of=("preroll", config, 256, _PREROLLS),
     )
-    emit(format_figure(result))
+    harness.annotate(
+        events_fired=executor.stats.events_fired,
+        sim_seconds=executor.stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(format_figure(result), name="ablation_preroll")
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     cells = {
         label: cells[0] for label, cells in result.series.items()
     }
@@ -38,3 +60,7 @@ def test_ablation_preroll(benchmark, experiment_config, paper_video, emit):
         cells["preroll 3"].startup_time
         >= cells["preroll 1"].startup_time
     )
+
+
+def test_ablation_preroll(harness):
+    run_suite(harness)

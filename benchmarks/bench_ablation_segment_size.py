@@ -9,26 +9,48 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_segment_size_sweep
 from repro.experiments.report import format_figure
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 DURATIONS = (1.0, 2.0, 4.0, 8.0, 16.0)
+_QUICK_DURATIONS = (1.0, 4.0, 16.0)
 
 
-def test_ablation_segment_size_sweep(
-    benchmark, experiment_config, paper_video, emit
-):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    durations = _QUICK_DURATIONS if quick else DURATIONS
+    executor = SweepExecutor(jobs=1)
+    result = harness.case(
+        "duration_sweep",
         run_segment_size_sweep,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
+            "config": config,
+            "video": video,
             "bandwidths_kb": (128, 512),
-            "durations": DURATIONS,
+            "durations": durations,
+            "executor": executor,
         },
-        rounds=1,
-        iterations=1,
+        params={
+            "quick": quick,
+            "bandwidths_kb": [128, 512],
+            "durations": list(durations),
+        },
+        digest_of=("segment_size", config, (128, 512), durations),
     )
-    emit(format_figure(result))
+    harness.annotate(
+        events_fired=executor.stats.events_fired,
+        sim_seconds=executor.stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result), name="ablation_segment_size_sweep"
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     def stalls(duration, bw):
         cells = result.series[f"duration-{int(duration)}s"]
         return next(
@@ -41,3 +63,7 @@ def test_ablation_segment_size_sweep(
     # connection churn, 16 s is coarser than the whole buffer.
     assert stalls(1.0, 128) > stalls(4.0, 128)
     assert stalls(16.0, 128) > stalls(4.0, 128)
+
+
+def test_ablation_segment_size_sweep(harness):
+    run_suite(harness)

@@ -8,24 +8,37 @@ from __future__ import annotations
 
 from repro.experiments.report import format_figure
 from repro.experiments.selection_study import run as run_selection
+from repro.obs.bench import figure_metrics
 
 
-def test_ablation_piece_selection(
-    benchmark, experiment_config, paper_video, emit
-):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    result = harness.case(
+        "selection@256",
         run_selection,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
+            "config": config,
+            "video": video,
             "bandwidth_kb": 256,
             "churn_fraction": 0.5,
         },
-        rounds=1,
-        iterations=1,
+        params={
+            "quick": quick,
+            "bandwidth_kb": 256,
+            "churn_fraction": 0.5,
+        },
+        digest_of=("selection", config, 256, 0.5),
     )
-    emit(format_figure(result))
+    harness.annotate(**figure_metrics(result))
+    harness.emit(
+        format_figure(result), name="ablation_piece_selection"
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     stalls = {
         label: cells[0].stall_count
         for label, cells in result.series.items()
@@ -35,3 +48,7 @@ def test_ablation_piece_selection(
     # on piece diversity).
     for label, value in stalls.items():
         assert value < 30.0, f"{label} collapsed: {value} stalls"
+
+
+def test_ablation_piece_selection(harness):
+    run_suite(harness)

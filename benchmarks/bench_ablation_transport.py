@@ -10,27 +10,37 @@ from __future__ import annotations
 
 from repro.experiments.report import format_figure
 from repro.experiments.transport_study import run as run_transport
+from repro.obs.bench import figure_metrics
+
+_BANDWIDTHS_KB = (128, 256, 512)
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_ablation_transport(
-    benchmark, experiment_config, paper_video, emit
-):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    bandwidths = (128, 256) if quick else _BANDWIDTHS_KB
+    result = harness.case(
+        "tcp_vs_ppspp",
         run_transport,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-            "bandwidths_kb": (128, 256, 512),
+            "config": config,
+            "video": video,
+            "bandwidths_kb": bandwidths,
         },
-        rounds=1,
-        iterations=1,
+        params={"quick": quick, "bandwidths_kb": list(bandwidths)},
+        digest_of=("transport", config, bandwidths),
     )
-    emit(format_figure(result))
+    harness.annotate(**figure_metrics(result))
+    harness.emit(format_figure(result), name="ablation_transport")
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     tcp = _by_bw(result.series["tcp"])
     udp = _by_bw(result.series["ppspp-udp"])
     # The delay-based transport never does worse, and wins where TCP's
@@ -38,3 +48,7 @@ def test_ablation_transport(
     for bw in (128, 256):
         assert udp[bw].stall_count <= tcp[bw].stall_count * 1.1
     assert udp[128].stall_count < tcp[128].stall_count
+
+
+def test_ablation_transport(harness):
+    run_suite(harness)

@@ -9,25 +9,46 @@ from __future__ import annotations
 
 from repro.experiments.ablations import run_variable_bandwidth
 from repro.experiments.report import format_figure
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
-def test_ablation_variable_bandwidth(
-    benchmark, experiment_config, paper_video, emit
-):
-    result = benchmark.pedantic(
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    result = harness.case(
+        "square_wave@256",
         run_variable_bandwidth,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
+            "config": config,
+            "video": video,
+            "base_kb": 256,
+            "amplitude": 0.5,
+            "period": 20.0,
+            "executor": executor,
+        },
+        params={
+            "quick": quick,
             "base_kb": 256,
             "amplitude": 0.5,
             "period": 20.0,
         },
-        rounds=1,
-        iterations=1,
+        digest_of=("variable_bw", config, 256, 0.5, 20.0),
     )
-    emit(format_figure(result))
+    harness.annotate(
+        events_fired=executor.stats.events_fired,
+        sim_seconds=executor.stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result), name="ablation_variable_bandwidth"
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     stalls = {
         label: cells[0].stall_count
         for label, cells in result.series.items()
@@ -35,3 +56,7 @@ def test_ablation_variable_bandwidth(
     # The paper's ordering survives oscillation: GOP-based splicing
     # still stalls more than 4-second duration splicing.
     assert stalls["gop"] > stalls["duration-4s"]
+
+
+def test_ablation_variable_bandwidth(harness):
+    run_suite(harness)

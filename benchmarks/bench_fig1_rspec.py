@@ -22,12 +22,29 @@ def build_and_roundtrip():
     return document, parse_rspec(xml), xml
 
 
-def test_fig1_rspec_roundtrip(benchmark, emit):
-    document, parsed, xml = benchmark(build_and_roundtrip)
+def run_suite(harness, quick=False):
+    document, parsed, xml = harness.case(
+        "build_serialize_parse",
+        build_and_roundtrip,
+        warmup=1,
+        budget_s=0.5,
+        params={
+            "n_peers": 19,
+            "capacity_kbps": 8192,
+            "latency_ms": 12.5,
+            "packet_loss": 0.0253,
+        },
+        digest_of=("rspec", 19, 8192, 12.5, 0.0253),
+    )
+    harness.annotate(
+        nodes=len(parsed.nodes),
+        links=len(parsed.links),
+        xml_bytes=len(xml.encode("utf-8")),
+    )
 
     start = xml.index("<link")
     end = xml.index("</link>") + len("</link>")
-    emit(xml[start:end])
+    harness.emit(xml[start:end], name="fig1_rspec_roundtrip")
 
     assert len(parsed.nodes) == 21  # 19 peers + seeder + switch
     assert len(parsed.links) == 20
@@ -35,3 +52,8 @@ def test_fig1_rspec_roundtrip(benchmark, emit):
         assert link.capacity_kbps == 8192
         assert link.latency_ms == 12.5
         assert link.packet_loss == 0.0253
+    return parsed
+
+
+def test_fig1_rspec_roundtrip(harness):
+    run_suite(harness)

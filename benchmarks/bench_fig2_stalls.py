@@ -2,34 +2,93 @@
 
 Regenerates the paper's stall-count series (GOP vs 2/4/8-second
 duration splicing, 128-768 kB/s, 19 peers, 3 seeded runs averaged) and
-asserts the paper's qualitative orderings.
+asserts the paper's qualitative orderings.  A second, single-bandwidth
+case re-runs the scarce end with the PR-5 analyzer attached so the
+artifact carries a stall-cause histogram.
 """
 
 from __future__ import annotations
 
 from repro.experiments import fig2
 from repro.experiments.report import format_figure
-from repro.obs import Observability, render_run_report
+from repro.obs import EngineProfile, Observability, render_run_report
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_fig2_stall_counts(benchmark, experiment_config, paper_video, emit):
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    # No profile on this obs: profiling publishes engine.* metrics
+    # into the registry, and this report must stay byte-identical to
+    # the committed table.
     obs = Observability.metrics_only()
-    result = benchmark.pedantic(
+    kwargs = {
+        "config": config,
+        "video": video,
+        "obs": obs,
+        "executor": executor,
+    }
+    if quick:
+        kwargs["bandwidths_kb"] = (128, 512)
+    result = harness.case(
+        "fig2/sweep",
+        fig2.run,
+        kwargs=kwargs,
+        params={
+            "quick": quick,
+            "n_leechers": config.n_leechers,
+            "seeds": len(config.seeds),
+        },
+        digest_of=("fig2", config, kwargs.get("bandwidths_kb")),
+    )
+    stats = executor.stats
+    harness.annotate(
+        events_fired=stats.events_fired,
+        sim_seconds=stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result) + "\n\n" + render_run_report(obs),
+        name="fig2_stall_counts",
+    )
+
+    # Stall-cause histogram + engine profile: one analyzed cell at the
+    # scarce end, on a throwaway obs whose report is never rendered.
+    analyzer_executor = SweepExecutor(jobs=1)
+    analyzer_obs = Observability.metrics_only()
+    analyzer_obs.profile = EngineProfile()
+    analyzed = harness.case(
+        "fig2/analyzed@128",
         fig2.run,
         kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-            "obs": obs,
+            "config": config,
+            "video": video,
+            "obs": analyzer_obs,
+            "bandwidths_kb": (128,),
+            "executor": analyzer_executor,
+            "analyze": True,
         },
-        rounds=1,
-        iterations=1,
+        params={"quick": quick, "bandwidth_kb": 128, "analyze": True},
+        digest_of=("fig2-analyzed", config, 128),
+        profile=analyzer_obs.profile,
     )
-    emit(format_figure(result) + "\n\n" + render_run_report(obs))
+    harness.annotate(
+        events_fired=analyzer_executor.stats.events_fired,
+        sim_seconds=analyzer_executor.stats.sim_seconds,
+        analysis=analyzed.series["duration-4s"][0].analysis,
+    )
 
+    if not quick:
+        _check(result)
+    return result
+
+
+def _check(result):
     gop = _by_bw(result.series["gop"])
     two = _by_bw(result.series["duration-2s"])
     four = _by_bw(result.series["duration-4s"])
@@ -52,3 +111,7 @@ def test_fig2_stall_counts(benchmark, experiment_config, paper_video, emit):
     # Every series decreases as bandwidth grows.
     for series in (gop, two, four, eight):
         assert series[768].stall_count <= series[128].stall_count
+
+
+def test_fig2_stall_counts(harness):
+    run_suite(harness)

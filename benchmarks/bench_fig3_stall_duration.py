@@ -8,26 +8,56 @@ from __future__ import annotations
 from repro.experiments import fig3
 from repro.experiments.report import format_figure
 from repro.obs import Observability, render_run_report
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_fig3_stall_durations(benchmark, experiment_config, paper_video, emit):
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    # No profile on this obs: profiling publishes engine.* metrics
+    # into the registry, and this report must stay byte-identical to
+    # the committed table.
     obs = Observability.metrics_only()
-    result = benchmark.pedantic(
+    kwargs = {
+        "config": config,
+        "video": video,
+        "obs": obs,
+        "executor": executor,
+    }
+    if quick:
+        kwargs["bandwidths_kb"] = (128, 512)
+    result = harness.case(
+        "fig3/sweep",
         fig3.run,
-        kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-            "obs": obs,
+        kwargs=kwargs,
+        params={
+            "quick": quick,
+            "n_leechers": config.n_leechers,
+            "seeds": len(config.seeds),
         },
-        rounds=1,
-        iterations=1,
+        digest_of=("fig3", config, kwargs.get("bandwidths_kb")),
     )
-    emit(format_figure(result) + "\n\n" + render_run_report(obs))
+    stats = executor.stats
+    harness.annotate(
+        events_fired=stats.events_fired,
+        sim_seconds=stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result) + "\n\n" + render_run_report(obs),
+        name="fig3_stall_durations",
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     # Stall time collapses as bandwidth grows, for every technique.
     for label, cells in result.series.items():
         series = _by_bw(cells)
@@ -37,3 +67,7 @@ def test_fig3_stall_durations(benchmark, experiment_config, paper_video, emit):
     # series all approach zero on the right edge of the figure).
     for cells in result.series.values():
         assert _by_bw(cells)[768].stall_duration < 60.0
+
+
+def test_fig3_stall_durations(harness):
+    run_suite(harness)

@@ -10,30 +10,58 @@ from __future__ import annotations
 from repro.experiments import fig4
 from repro.experiments.report import format_figure
 from repro.obs import Observability, render_run_report
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_fig4_startup_times(benchmark, experiment_config, paper_video, emit):
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    # No profile on this obs: profiling publishes engine.* metrics
+    # into the registry, and this report must stay byte-identical to
+    # the committed table.
     obs = Observability.metrics_only()
-    result = benchmark.pedantic(
+    kwargs = {
+        "config": config,
+        "video": video,
+        "obs": obs,
+        "executor": executor,
+    }
+    if quick:
+        kwargs["bandwidths_kb"] = (128, 512)
+    result = harness.case(
+        "fig4/sweep",
         fig4.run,
-        kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-            "obs": obs,
+        kwargs=kwargs,
+        params={
+            "quick": quick,
+            "n_leechers": config.n_leechers,
+            "seeds": len(config.seeds),
         },
-        rounds=1,
-        iterations=1,
+        digest_of=("fig4", config, kwargs.get("bandwidths_kb")),
     )
-    emit(
+    stats = executor.stats
+    harness.annotate(
+        events_fired=stats.events_fired,
+        sim_seconds=stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
         format_figure(result, precision=2)
         + "\n\n"
-        + render_run_report(obs)
+        + render_run_report(obs),
+        name="fig4_startup_times",
     )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     two = _by_bw(result.series["2 sec segment"])
     four = _by_bw(result.series["4 sec segment"])
     eight = _by_bw(result.series["8 sec segment"])
@@ -55,3 +83,7 @@ def test_fig4_startup_times(benchmark, experiment_config, paper_video, emit):
     # Startup falls with bandwidth for every series.
     for series in (two, four, eight):
         assert series[1024].startup_time <= series[128].startup_time
+
+
+def test_fig4_startup_times(harness):
+    run_suite(harness)

@@ -10,26 +10,56 @@ from __future__ import annotations
 from repro.experiments import fig5
 from repro.experiments.report import format_figure
 from repro.obs import Observability, render_run_report
+from repro.obs.bench import figure_metrics
+from repro.parallel import SweepExecutor
 
 
 def _by_bw(cells):
     return {cell.bandwidth_kb: cell for cell in cells}
 
 
-def test_fig5_pool_policies(benchmark, experiment_config, paper_video, emit):
+def run_suite(harness, quick=False):
+    config, video = harness.paper_setup(quick)
+    executor = SweepExecutor(jobs=1)
+    # No profile on this obs: profiling publishes engine.* metrics
+    # into the registry, and this report must stay byte-identical to
+    # the committed table.
     obs = Observability.metrics_only()
-    result = benchmark.pedantic(
+    kwargs = {
+        "config": config,
+        "video": video,
+        "obs": obs,
+        "executor": executor,
+    }
+    if quick:
+        kwargs["bandwidths_kb"] = (128, 512)
+    result = harness.case(
+        "fig5/sweep",
         fig5.run,
-        kwargs={
-            "config": experiment_config,
-            "video": paper_video,
-            "obs": obs,
+        kwargs=kwargs,
+        params={
+            "quick": quick,
+            "n_leechers": config.n_leechers,
+            "seeds": len(config.seeds),
         },
-        rounds=1,
-        iterations=1,
+        digest_of=("fig5", config, kwargs.get("bandwidths_kb")),
     )
-    emit(format_figure(result) + "\n\n" + render_run_report(obs))
+    stats = executor.stats
+    harness.annotate(
+        events_fired=stats.events_fired,
+        sim_seconds=stats.sim_seconds,
+        **figure_metrics(result),
+    )
+    harness.emit(
+        format_figure(result) + "\n\n" + render_run_report(obs),
+        name="fig5_pool_policies",
+    )
+    if not quick:
+        _check(result)
+    return result
 
+
+def _check(result):
     adaptive = _by_bw(result.series["Adaptive pooling"])
     fixed = {
         size: _by_bw(result.series[f"Pool size: {size}"])
@@ -54,3 +84,7 @@ def test_fig5_pool_policies(benchmark, experiment_config, paper_video, emit):
     for size in (2, 4, 8):
         assert fixed[size][768].stall_count <= 1.0
     assert adaptive[768].stall_count <= 2.0
+
+
+def test_fig5_pool_policies(harness):
+    run_suite(harness)

@@ -18,8 +18,8 @@ Two topologies, shaped like the paper's streaming experiments:
 
 Usage::
 
-    python benchmarks/bench_flownet.py             # full run, writes artifact
-    python benchmarks/bench_flownet.py --quick     # small sizes, no artifact
+    python benchmarks/bench_flownet.py             # full run, writes artifacts
+    python benchmarks/bench_flownet.py --quick     # small sizes, quick artifact
     python benchmarks/bench_flownet.py --quick --check
         # CI gate: re-measure the quick rows and fail if the
         # incremental solver's events/sec fell more than 30% below the
@@ -159,6 +159,12 @@ def run_workload(solver, topology, n_peers, tracer=NULL_TRACER):
     return sim.events_fired, wall, len(completed), sim.now
 
 
+def _workload(solver, topology, n_peers):
+    """Self-timed wrapper: only the simulator loop counts."""
+    events, wall, done, end = run_workload(solver, topology, n_peers)
+    return (events, done, end), wall
+
+
 def _timed(solver, topology, n_peers, tracer=NULL_TRACER):
     """Best-of-many wall time under a ~1.5 s budget per cell.
 
@@ -180,20 +186,44 @@ def _timed(solver, topology, n_peers, tracer=NULL_TRACER):
     return events, wall, done, end
 
 
-def measure(sizes):
-    """Measure every topology x size x solver cell.
+def run_suite(harness, quick=False):
+    """Measure every topology x size x solver cell through ``harness``.
 
     Returns rows of ``(topology, n, solver, events, wall_s, evps)``,
     verifying the two solvers simulated the same thing.
     """
+    sizes = _QUICK_SIZES if quick else _FULL_SIZES
     rows = []
     for topology in _TOPOLOGIES:
         for n_peers in sizes:
             outcomes = {}
             for solver in _SOLVERS:
-                events, wall, done, end = _timed(
-                    solver, topology, n_peers
+                events, done, end = harness.case(
+                    f"{topology}/{n_peers}/{solver}",
+                    _workload,
+                    solver,
+                    topology,
+                    n_peers,
+                    self_timed=True,
+                    budget_s=1.5,
+                    params={
+                        "topology": topology,
+                        "n_peers": n_peers,
+                        "solver": solver,
+                        "rounds": _ROUNDS,
+                    },
+                    digest_of=(
+                        "flownet",
+                        topology,
+                        n_peers,
+                        solver,
+                        _SEED,
+                        _ROUNDS,
+                        _SEGMENT_BYTES,
+                    ),
                 )
+                wall = harness.cases[-1].timing.best_s
+                harness.annotate(events_fired=events, sim_seconds=end)
                 outcomes[solver] = (done, end)
                 rows.append(
                     (topology, n_peers, solver, events, wall, events / wall)
@@ -208,6 +238,13 @@ def measure(sizes):
                     f"incremental finished {inc_done} transfers at "
                     f"t={inc_end}, reference {ref_done} at t={ref_end}"
                 )
+            inc_evps = rows[-2][5]
+            ref_evps = rows[-1][5]
+            harness.annotate(
+                f"{topology}/{n_peers}/incremental",
+                speedup_vs_reference=inc_evps / ref_evps,
+            )
+    harness.emit(render(rows), name="flownet_solver")
     return rows
 
 
@@ -342,7 +379,8 @@ def main(argv=None):
     parser.add_argument(
         "--quick",
         action="store_true",
-        help=f"only swarm sizes {_QUICK_SIZES}; do not write the artifact",
+        help=f"only swarm sizes {_QUICK_SIZES}; do not overwrite the "
+        "committed table",
     )
     parser.add_argument(
         "--check",
@@ -352,27 +390,28 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    sizes = _QUICK_SIZES if args.quick else _FULL_SIZES
-    rows = measure(sizes)
-    report = render(rows)
-    print(report)
+    from repro.obs.bench import BenchHarness
+
+    harness = BenchHarness(
+        "flownet", results_dir=ARTIFACT.parent, quick=args.quick
+    )
+    rows = run_suite(harness, quick=args.quick)
 
     if args.check:
         if not ARTIFACT.exists():
             raise SystemExit(f"missing baseline artifact: {ARTIFACT}")
         baseline = parse_artifact(ARTIFACT.read_text())
         check_regression(rows, baseline)
-        check_null_tracer_overhead(baseline, sizes[0])
-    elif not args.quick:
-        ARTIFACT.parent.mkdir(exist_ok=True)
-        ARTIFACT.write_text(report + "\n")
-        print(f"\nwrote {ARTIFACT}")
+        check_null_tracer_overhead(baseline, _QUICK_SIZES[0])
+    else:
+        target = harness.write()
+        print(f"\nwrote {target}")
 
 
-def test_flownet_solver_quick(emit):
-    """Pytest entry point: quick sizes, artifact under results/."""
-    rows = measure(_QUICK_SIZES)
-    emit(render(rows))
+def test_flownet_solver_quick(harness):
+    """Pytest entry point: quick sizes, no table overwrite."""
+    harness.quick = True
+    rows = run_suite(harness, quick=True)
     by_cell = {
         (topology, n, solver): evps
         for topology, n, solver, _, _, evps in rows

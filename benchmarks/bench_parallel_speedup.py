@@ -30,7 +30,7 @@ _BANDWIDTHS_KB = (128, 256, 512)
 _SPLICERS = (SplicerSpec("gop"), SplicerSpec("duration", 4.0))
 
 
-def _cells(config, video):
+def _cells(config, video, bandwidths=_BANDWIDTHS_KB):
     return [
         cell_for(
             spec,
@@ -40,31 +40,52 @@ def _cells(config, video):
             label=f"bench/{spec.technique} @ {bandwidth} kB/s",
         )
         for spec in _SPLICERS
-        for bandwidth in _BANDWIDTHS_KB
+        for bandwidth in bandwidths
     ]
 
 
-def _timed_sweep(jobs, cells):
-    executor = SweepExecutor(jobs=jobs)
-    start = time.perf_counter()
-    results = executor.run_cells(cells)
-    elapsed = time.perf_counter() - start
-    return results, elapsed, executor.stats
-
-
-def test_parallel_speedup(benchmark, emit):
-    config = ExperimentConfig(n_leechers=9, seeds=(7, 11))
+def run_suite(harness, quick=False):
+    config = ExperimentConfig(
+        n_leechers=9, seeds=(7,) if quick else (7, 11)
+    )
     video = make_paper_video(config)
-    cells = _cells(config, video)
+    bandwidths = _BANDWIDTHS_KB[:2] if quick else _BANDWIDTHS_KB
+    cells = _cells(config, video, bandwidths)
     jobs = max(2, default_jobs())
 
-    serial_results, serial_s, serial_stats = _timed_sweep(1, cells)
+    def _sweep(n_jobs):
+        executor = SweepExecutor(jobs=n_jobs)
+        start = time.perf_counter()
+        results = executor.run_cells(cells)
+        elapsed = time.perf_counter() - start
+        return (results, executor.stats), elapsed
 
-    def _parallel():
-        return _timed_sweep(jobs, cells)
+    serial_results, serial_stats = harness.case(
+        "serial",
+        _sweep,
+        1,
+        self_timed=True,
+        params={"jobs": 1, "cells": len(cells), "quick": quick},
+        digest_of=("parallel_speedup", config, bandwidths, "serial"),
+    )
+    serial_s = harness.cases[-1].timing.best_s
+    harness.annotate(
+        events_fired=serial_stats.events_fired,
+        sim_seconds=serial_stats.sim_seconds,
+    )
 
-    parallel_results, parallel_s, parallel_stats = benchmark.pedantic(
-        _parallel, rounds=1, iterations=1
+    parallel_results, parallel_stats = harness.case(
+        "parallel",
+        _sweep,
+        jobs,
+        self_timed=True,
+        params={"jobs": jobs, "cells": len(cells), "quick": quick},
+        digest_of=("parallel_speedup", config, bandwidths, "parallel"),
+    )
+    parallel_s = harness.cases[-1].timing.best_s
+    harness.annotate(
+        events_fired=parallel_stats.events_fired,
+        sim_seconds=parallel_stats.sim_seconds,
     )
 
     # The whole point of the executor: worker count never changes the
@@ -73,6 +94,9 @@ def test_parallel_speedup(benchmark, emit):
     assert parallel_stats.events_fired == serial_stats.events_fired
 
     speedup = serial_s / parallel_s
+    harness.annotate(
+        "parallel", speedup=speedup, worker_processes=jobs
+    )
     lines = [
         "parallel sweep speedup (fig2-shaped grid, "
         f"{len(cells)} cells x {len(config.seeds)} seeds)",
@@ -87,8 +111,13 @@ def test_parallel_speedup(benchmark, emit):
         f"speedup:            {speedup:8.2f}x",
         "results identical:  yes",
     ]
-    emit("\n".join(lines))
+    harness.emit("\n".join(lines), name="parallel_speedup")
 
     # Sanity floor, not a speedup assertion: the pooled run must stay
     # within a small constant factor of serial even on one core.
     assert parallel_s < serial_s * 3
+    return speedup
+
+
+def test_parallel_speedup(harness):
+    run_suite(harness)

@@ -1,4 +1,11 @@
-"""Benchmark fixtures: the paper's video, encoded once per session."""
+"""Benchmark fixtures: one shared :class:`BenchHarness` per module.
+
+Every ``bench_*.py`` exposes ``run_suite(harness, quick=False)``; the
+``harness`` fixture names the suite after the module (the same name
+``repro bench <suite>`` uses), lets the suite time cases and emit its
+human-readable tables, and writes the versioned
+``results/BENCH_<suite>.json`` artifact on teardown.
+"""
 
 from __future__ import annotations
 
@@ -11,35 +18,21 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.experiments.config import ExperimentConfig, make_paper_video
+from repro.obs.bench import BenchHarness
 
-
-@pytest.fixture(scope="session")
-def experiment_config():
-    """The paper's full-scale setup: 19 peers, 3 seeds per cell."""
-    return ExperimentConfig()
-
-
-@pytest.fixture(scope="session")
-def paper_video(experiment_config):
-    """The 2-minute nominal-1-Mbps experimental video."""
-    return make_paper_video(experiment_config)
+_RESULTS = Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture()
-def emit(request):
-    """Print a reproduced table and persist it to benchmarks/results/.
+def harness(request):
+    """A full-scale harness for the current benchmark module.
 
-    pytest captures stdout, so the durable copy under ``results/`` is
-    what survives a plain ``pytest benchmarks/ --benchmark-only`` run.
+    pytest captures stdout, so the durable copies under ``results/``
+    — the ``.txt`` tables and the ``BENCH_<suite>.json`` artifact —
+    are what survives a plain ``pytest benchmarks/`` run.
     """
-    results_dir = Path(__file__).resolve().parent / "results"
-    results_dir.mkdir(exist_ok=True)
-
-    def _emit(text: str) -> None:
-        print()
-        print(text)
-        name = request.node.name.removeprefix("test_")
-        (results_dir / f"{name}.txt").write_text(text + "\n")
-
-    return _emit
+    suite = Path(request.module.__file__).stem.removeprefix("bench_")
+    bench = BenchHarness(suite, results_dir=_RESULTS)
+    yield bench
+    if bench.cases:
+        bench.write()

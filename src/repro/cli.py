@@ -10,13 +10,18 @@ Commands:
 * ``timeline`` — run one swarm and render per-peer session timelines;
 * ``trace`` — summarize a JSONL trace written by ``reproduce --trace``;
 * ``analyze`` — diagnose a JSONL trace: per-peer timelines, stall
-  root-cause attribution, and an optional cause-marked Gantt chart.
+  root-cause attribution, and an optional cause-marked Gantt chart;
+* ``bench`` — run a benchmark suite through the shared harness and
+  write its versioned ``BENCH_<suite>.json`` artifact;
+* ``compare`` — diff two benchmark artifacts and exit non-zero on
+  regression (the CI perf gate).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from . import __version__
@@ -57,6 +62,38 @@ _FIGURES = {
 _TRACE_SEGMENT_DURATION = 4.0
 
 
+class _VersionAction(argparse.Action):
+    """``--version``: the version line plus the environment block.
+
+    The first line stays ``repro <version>`` (scripts parse it); the
+    following lines are the same python/platform/git facts every
+    benchmark artifact embeds, so pasted reports are self-describing.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from .obs.manifest import render_environment
+
+        print(f"repro {__version__}")
+        print(render_environment())
+        parser.exit()
+
+
+def _bench_dir() -> Path | None:
+    """Locate ``benchmarks/``: the cwd first, then the checkout.
+
+    ``repro bench`` is usually run from the repository root, but the
+    fallback keeps it working from anywhere inside a source checkout
+    (the suites are not installed with the package).
+    """
+    for candidate in (
+        Path("benchmarks"),
+        Path(__file__).resolve().parent.parent.parent / "benchmarks",
+    ):
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -68,8 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version",
-        action="version",
-        version=f"repro {__version__}",
+        action=_VersionAction,
+        nargs=0,
+        help=(
+            "print the version plus the environment block "
+            "(python, platform, cpus, git revision)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -140,10 +181,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument(
         "--progress",
-        action="store_true",
+        nargs="?",
+        const="live",
+        choices=("live", "plain"),
+        default=None,
         help=(
-            "live sweep progress on stderr (cells done/running/"
-            "failed); automatically disabled when stderr is not a TTY"
+            "sweep progress on stderr: 'live' (the default when the "
+            "flag is given bare) rewrites one status line and is "
+            "automatically disabled when stderr is not a TTY; "
+            "'plain' appends one rate-limited line per completed "
+            "cell, for CI logs and redirected output"
+        ),
+    )
+    reproduce.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write a JSON run manifest here (schema "
+            "repro.manifest/1): command, environment block, git "
+            "revision, and sweep totals"
         ),
     )
 
@@ -186,6 +243,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=72,
         help="Gantt time-axis width in columns",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run a benchmark suite and write its JSON artifact"
+        ),
+    )
+    bench.add_argument(
+        "suite",
+        help=(
+            "suite name (benchmarks/bench_<suite>.py), or 'list' to "
+            "enumerate the available suites"
+        ),
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "reduced-scale run: the artifact is flagged quick and "
+            "the committed human-readable tables are left untouched"
+        ),
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=(
+            "artifact path (default: "
+            "benchmarks/results/BENCH_<suite>.json)"
+        ),
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help=(
+            "diff two benchmark artifacts; exit 1 on regression"
+        ),
+    )
+    compare.add_argument(
+        "baseline", help="reference BENCH_*.json (usually committed)"
+    )
+    compare.add_argument(
+        "candidate", help="freshly measured BENCH_*.json"
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help=(
+            "minimum percentage change that counts (default 10; "
+            "widened per case by 3 relative standard deviations of "
+            "the noisier artifact)"
+        ),
+    )
+    compare.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "metric to score (repeatable): a timing name (best_s, "
+            "mean_s), a case field (events_per_sec), or "
+            "metrics.<name>; default: best_s and events_per_sec"
+        ),
+    )
     return parser
 
 
@@ -208,6 +331,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -276,7 +403,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    progress = SweepProgress() if args.progress else None
+    progress = (
+        SweepProgress(mode=args.progress) if args.progress else None
+    )
     executor = SweepExecutor(jobs=args.jobs, progress=progress)
     if args.trace is not None:
         # Fail on an unwritable path now, not after the whole sweep.
@@ -318,6 +447,44 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             handle.write(text)
     if args.trace is not None:
         _write_representative_trace(args, config)
+    if args.manifest is not None:
+        return _write_run_manifest(args, executor)
+    return 0
+
+
+def _write_run_manifest(
+    args: argparse.Namespace, executor
+) -> int:
+    """Record one ``reproduce`` invocation as a JSON manifest."""
+    from .obs import dump_json, run_manifest
+
+    command = "reproduce"
+    if args.quick:
+        command += " --quick"
+    if args.figure is not None:
+        command += f" --figure {args.figure}"
+    stats = executor.stats
+    payload = run_manifest(
+        command,
+        quick=args.quick,
+        figure=args.figure,
+        jobs=executor.jobs,
+        sweep={
+            "runs": stats.runs,
+            "failures": stats.failures,
+            "events_fired": stats.events_fired,
+            "sim_seconds": stats.sim_seconds,
+        },
+    )
+    try:
+        dump_json(payload, args.manifest)
+    except OSError as exc:
+        print(
+            f"error: cannot write manifest '{args.manifest}': {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"run manifest -> {args.manifest}")
     return 0
 
 
@@ -423,6 +590,80 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .errors import ArtifactError, BenchError
+    from .obs.bench import BenchHarness, discover_suites, load_suite
+
+    bench_dir = _bench_dir()
+    if bench_dir is None:
+        print(
+            "error: no benchmarks/ directory found (run from the "
+            "repository root)",
+            file=sys.stderr,
+        )
+        return 2
+    suites = discover_suites(bench_dir)
+    if args.suite == "list":
+        for name in sorted(suites):
+            print(name)
+        return 0
+    script = suites.get(args.suite)
+    if script is None:
+        print(
+            f"error: unknown suite {args.suite!r} "
+            f"(try 'repro bench list')",
+            file=sys.stderr,
+        )
+        return 2
+    harness = BenchHarness(
+        args.suite,
+        results_dir=bench_dir / "results",
+        quick=args.quick,
+    )
+    try:
+        module = load_suite(args.suite, script)
+        module.run_suite(harness, quick=args.quick)
+        target = harness.write(args.output)
+    except (ArtifactError, BenchError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot write artifact: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"suite {args.suite}: {len(harness.cases)} case(s) -> {target}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .errors import ArtifactError
+    from .obs.bench import load_artifact
+    from .obs.compare import (
+        DEFAULT_METRICS,
+        compare_artifacts,
+        render_comparison,
+    )
+
+    metrics = (
+        tuple(args.metric) if args.metric else DEFAULT_METRICS
+    )
+    try:
+        baseline = load_artifact(args.baseline)
+        candidate = load_artifact(args.candidate)
+        comparison = compare_artifacts(
+            baseline,
+            candidate,
+            threshold_pct=args.threshold,
+            metrics=metrics,
+        )
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def _cmd_rspec(args: argparse.Namespace) -> int:

@@ -86,3 +86,11 @@ class SweepError(ExperimentError):
 
 class TraceError(ReproError):
     """A trace, metric, or exporter was configured or parsed incorrectly."""
+
+
+class ArtifactError(ReproError):
+    """A benchmark artifact is missing, malformed, or schema-invalid."""
+
+
+class BenchError(ReproError):
+    """A benchmark suite was configured or driven incorrectly."""

@@ -51,6 +51,21 @@ from .causes import (
     attribute_stalls,
     cause_histogram,
 )
+from .bench import (
+    BenchCase,
+    BenchHarness,
+    CaseTiming,
+    build_artifact,
+    figure_metrics,
+    load_artifact,
+    validate_artifact,
+)
+from .compare import (
+    Comparison,
+    MetricDelta,
+    compare_artifacts,
+    render_comparison,
+)
 from .context import Observability
 from .events import (
     EVENT_TYPES,
@@ -79,6 +94,7 @@ from .events import (
 )
 from .export import (
     PeerTraceSummary,
+    dump_json,
     dump_jsonl,
     event_counts,
     events_to_jsonl,
@@ -95,6 +111,13 @@ from .metrics import (
     MetricsRegistry,
     Timeseries,
     TimeWeightedHistogram,
+)
+from .manifest import (
+    build_manifest,
+    environment_block,
+    git_info,
+    render_environment,
+    run_manifest,
 )
 from .profile import EngineProfile, handler_category
 from .render import CAUSE_SYMBOLS, render_gantt
@@ -117,7 +140,11 @@ __all__ = [
     "SEEDER_CONCURRENCY_THRESHOLD",
     "SEVERITIES",
     "STALL_CAUSES",
+    "BenchCase",
+    "BenchHarness",
+    "CaseTiming",
     "CellAnalysis",
+    "Comparison",
     "Counter",
     "EngineProfile",
     "EventTracer",
@@ -126,6 +153,7 @@ __all__ = [
     "HistogramSummary",
     "InvariantViolation",
     "ManifestReceived",
+    "MetricDelta",
     "MetricsRegistry",
     "NullTracer",
     "Observability",
@@ -162,22 +190,34 @@ __all__ = [
     "analyze_file",
     "analyze_observability",
     "attribute_stalls",
+    "build_artifact",
+    "build_manifest",
     "build_timelines",
     "cause_histogram",
+    "compare_artifacts",
+    "dump_json",
     "dump_jsonl",
+    "environment_block",
     "event_counts",
     "event_from_dict",
     "event_type",
     "events_to_jsonl",
+    "figure_metrics",
+    "git_info",
     "handler_category",
+    "load_artifact",
     "load_jsonl",
     "merge_analyses",
     "render_analysis",
     "render_attributions",
     "render_cause_table",
+    "render_comparison",
+    "render_environment",
     "render_gantt",
     "render_run_report",
     "render_trace_summary",
+    "run_manifest",
     "summarize_trace",
     "timeseries_csv",
+    "validate_artifact",
 ]

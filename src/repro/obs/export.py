@@ -87,6 +87,24 @@ def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
     return buffer.getvalue()
 
 
+# -- JSON documents ----------------------------------------------------
+
+
+def dump_json(payload: dict, destination: str | TextIO) -> None:
+    """Write one JSON document (sorted keys, indented, trailing \\n).
+
+    The one encoder every machine-readable artifact goes through —
+    benchmark artifacts, run manifests — so diffs of committed
+    artifacts stay minimal and stable.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            dump_json(payload, handle)
+        return
+    json.dump(payload, destination, indent=2, sort_keys=True)
+    destination.write("\n")
+
+
 # -- CSV ---------------------------------------------------------------
 
 

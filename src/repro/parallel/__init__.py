@@ -8,6 +8,7 @@ design and determinism guarantees.
 """
 
 from .cache import cached_splice, cached_video, clear_caches, splice_for
+from .digest import canonical_data, content_digest, spec_digest
 from .executor import (
     JOBS_ENV_VAR,
     SweepExecutor,
@@ -15,7 +16,14 @@ from .executor import (
     default_jobs,
 )
 from .progress import NULL_PROGRESS, SweepProgress
-from .snapshot import MetricsSnapshot, merge_snapshot, snapshot_registry
+from .snapshot import (
+    MetricsSnapshot,
+    ProfileSnapshot,
+    merge_profile,
+    merge_snapshot,
+    snapshot_profile,
+    snapshot_registry,
+)
 from .spec import (
     CellSpec,
     RunSpec,
@@ -31,6 +39,7 @@ __all__ = [
     "JOBS_ENV_VAR",
     "MetricsSnapshot",
     "NULL_PROGRESS",
+    "ProfileSnapshot",
     "RunOutcome",
     "RunSpec",
     "SplicerSpec",
@@ -41,12 +50,17 @@ __all__ = [
     "VideoSpec",
     "cached_splice",
     "cached_video",
+    "canonical_data",
     "cell_for",
     "clear_caches",
+    "content_digest",
     "default_jobs",
     "execute_run",
+    "merge_profile",
     "merge_snapshot",
     "pool_entry",
+    "snapshot_profile",
     "snapshot_registry",
+    "spec_digest",
     "splice_for",
 ]

@@ -32,7 +32,7 @@ from ..experiments.runner import CellResult, merge_cell
 from ..obs.analyze import analyze_observability
 from ..obs.context import Observability
 from .progress import NULL_PROGRESS, SweepProgress
-from .snapshot import merge_snapshot
+from .snapshot import merge_profile, merge_snapshot
 from .spec import CellSpec, RunSpec
 from .worker import RunOutcome, execute_run, pool_entry
 
@@ -163,7 +163,12 @@ class SweepExecutor:
                     outcomes.append(outcome)
             else:
                 outcomes = self._map_pool(
-                    specs, collect=obs is not None, analyze=analyze
+                    specs,
+                    collect=obs is not None,
+                    analyze=analyze,
+                    profile=(
+                        obs is not None and obs.profile is not None
+                    ),
                 )
                 outcomes.sort(
                     key=lambda o: (o.cell_index, o.seed_index)
@@ -172,6 +177,11 @@ class SweepExecutor:
                     for outcome in outcomes:
                         if outcome.metrics is not None:
                             merge_snapshot(obs.registry, outcome.metrics)
+                        if (
+                            outcome.profile is not None
+                            and obs.profile is not None
+                        ):
+                            merge_profile(obs.profile, outcome.profile)
         finally:
             progress.finish()
         self._account(outcomes)
@@ -204,7 +214,11 @@ class SweepExecutor:
         return outcome
 
     def _map_pool(
-        self, specs: list[RunSpec], collect: bool, analyze: bool = False
+        self,
+        specs: list[RunSpec],
+        collect: bool,
+        analyze: bool = False,
+        profile: bool = False,
     ) -> list[RunOutcome]:
         workers = max(1, min(self.jobs, len(specs)))
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -218,6 +232,7 @@ class SweepExecutor:
                         spec,
                         collect_metrics=collect,
                         collect_analysis=analyze,
+                        collect_profile=profile,
                     ),
                 ): spec
                 for spec in specs

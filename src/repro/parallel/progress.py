@@ -6,22 +6,35 @@ observable while they run — cells completed / running / failed, plus
 the per-cell stall totals as workers finish — without touching stdout,
 where the figure tables go.
 
-Off by default, and **forced off when the stream is not a TTY**: CI
-logs and redirected output never see control characters, and a
-disabled reporter costs one attribute check per run.
+Two modes:
+
+* ``"live"`` (default): one rewriting status line, redrawn after every
+  finished run.  Off by default, and **forced off when the stream is
+  not a TTY**: CI logs and redirected output never see control
+  characters, and a disabled reporter costs one attribute check per
+  run.
+* ``"plain"``: append-only lines for non-TTY consumers (CI logs,
+  ``tee``).  One rate-limited summary line per *completed cell* — no
+  control characters, no rewriting — plus a header at start and a
+  totals line at the end.  Failures always print immediately.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from typing import Sequence, TextIO
 
+from ..errors import ExperimentError
 from .spec import RunSpec
 from .worker import RunOutcome
 
+#: Recognized reporter modes.
+PROGRESS_MODES = ("live", "plain")
+
 
 class SweepProgress:
-    """Single-line live progress for one or more sweeps.
+    """Sweep progress reporting in live (TTY) or plain (append) mode.
 
     The executor drives it: :meth:`begin` with the expanded run specs,
     :meth:`update` once per finished run (in completion order — on the
@@ -30,17 +43,46 @@ class SweepProgress:
 
     Args:
         stream: where to write (default ``sys.stderr``).
-        enabled: caller's request; AND-ed with ``stream.isatty()``.
+        enabled: caller's request; in live mode AND-ed with
+            ``stream.isatty()``.
+        mode: ``"live"`` (rewriting status line, TTY only) or
+            ``"plain"`` (append-only cell-completion lines, any
+            stream).
+        min_interval: minimum seconds between plain-mode lines; cell
+            completions arriving faster are folded into the next line.
+            Failures and the final cell always print.  Ignored in live
+            mode.
+        clock: monotonic time source (tests inject a fake one).
     """
 
     def __init__(
-        self, stream: TextIO | None = None, enabled: bool = True
+        self,
+        stream: TextIO | None = None,
+        enabled: bool = True,
+        mode: str = "live",
+        min_interval: float = 1.0,
+        clock=time.monotonic,
     ) -> None:
+        if mode not in PROGRESS_MODES:
+            raise ExperimentError(
+                f"unknown progress mode {mode!r} "
+                f"(expected one of {', '.join(PROGRESS_MODES)})"
+            )
+        if min_interval < 0:
+            raise ExperimentError(
+                f"min_interval must be >= 0: {min_interval}"
+            )
         self._stream = stream if stream is not None else sys.stderr
-        isatty = getattr(self._stream, "isatty", None)
-        self.enabled = bool(enabled) and bool(
-            isatty() if callable(isatty) else False
-        )
+        self.mode = mode
+        self.min_interval = min_interval
+        self._clock = clock
+        if mode == "plain":
+            self.enabled = bool(enabled)
+        else:
+            isatty = getattr(self._stream, "isatty", None)
+            self.enabled = bool(enabled) and bool(
+                isatty() if callable(isatty) else False
+            )
         self._width = 0
         self._reset()
 
@@ -52,6 +94,7 @@ class SweepProgress:
         self._labels: dict[int, str] = {}
         self._runs_done = 0
         self._runs_total = 0
+        self._last_emit: float | None = None
 
     def begin(self, specs: Sequence[RunSpec]) -> None:
         """Register the sweep's run specs before execution starts."""
@@ -63,16 +106,25 @@ class SweepProgress:
             self._total[index] = self._total.get(index, 0) + 1
             self._labels.setdefault(index, spec.cell.describe())
         self._runs_total = len(specs)
-        self._render("starting")
+        if self.mode == "plain":
+            self._emit_line(
+                f"sweep: starting {len(self._total)} cells"
+                f" ({self._runs_total} runs)"
+            )
+        else:
+            self._render("starting")
 
     def update(self, outcome: RunOutcome) -> None:
-        """Record one finished run and redraw the status line."""
+        """Record one finished run and report it (mode-dependent)."""
         if self.enabled:
             self._ingest(outcome)
 
     def finish(self) -> None:
         """End the sweep: leave the final counts on their own line."""
         if not self.enabled:
+            return
+        if self.mode == "plain":
+            self._emit_line("sweep: " + self._summary())
             return
         self._render("done")
         self._stream.write("\n")
@@ -92,6 +144,9 @@ class SweepProgress:
                 self._stalls.get(index, 0.0) + outcome.stats.stall_count
             )
         label = self._labels.get(index) or outcome.label
+        if self.mode == "plain":
+            self._ingest_plain(outcome, index, label)
+            return
         if outcome.ok:
             done = self._done[index]
             mean_stalls = self._stalls.get(index, 0.0) / max(1, done)
@@ -102,6 +157,57 @@ class SweepProgress:
         else:
             last = f"{label} seed {outcome.seed}: FAILED"
         self._render(last)
+
+    def _ingest_plain(
+        self, outcome: RunOutcome, index: int, label: str
+    ) -> None:
+        """Plain mode: one line per completed cell, rate-limited.
+
+        Failures print immediately (they are rare and actionable);
+        cell completions are folded into at most one line per
+        ``min_interval`` seconds, except the final one, which always
+        prints so logs end with a complete picture.
+        """
+        if not outcome.ok:
+            self._emit_line(
+                f"sweep: {label} seed {outcome.seed} FAILED"
+                f" ({outcome.error})"
+            )
+            return
+        total = self._total.get(index, 0)
+        if self._done.get(index, 0) < total:
+            return
+        final = self._runs_done >= self._runs_total
+        now = self._clock()
+        if (
+            not final
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
+            return
+        mean_stalls = self._stalls.get(index, 0.0) / max(1, total)
+        self._emit_line(
+            f"sweep: {label} done"
+            f" ({mean_stalls:.1f} stalls/peer; {self._summary()})"
+        )
+
+    def _summary(self) -> str:
+        completed = sum(
+            1
+            for index, total in self._total.items()
+            if self._done.get(index, 0) >= total
+        )
+        failed = sum(1 for index in self._failed if self._failed[index])
+        return (
+            f"{completed}/{len(self._total)} cells done,"
+            f" {failed} failed,"
+            f" {self._runs_done}/{self._runs_total} runs"
+        )
+
+    def _emit_line(self, line: str) -> None:
+        self._stream.write(line + "\n")
+        self._stream.flush()
+        self._last_emit = self._clock()
 
     def _render(self, last: str) -> None:
         completed = sum(
@@ -131,6 +237,9 @@ class _NullProgress(SweepProgress):
     def __init__(self) -> None:  # noqa: D107 - trivial
         self._stream = None  # type: ignore[assignment]
         self.enabled = False
+        self.mode = "live"
+        self.min_interval = 0.0
+        self._clock = time.monotonic
         self._width = 0
         self._reset()
 

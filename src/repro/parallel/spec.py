@@ -214,6 +214,10 @@ class RunSpec:
             — only the analysis crosses the process boundary, never
             the trace, so attribution is identical at any worker
             count.
+        collect_profile: when true, a worker process times its event
+            loop into a fresh :class:`~repro.obs.profile.EngineProfile`
+            and ships the per-category snapshot back, so a ``--jobs N``
+            sweep's merged profile covers every worker's host time.
     """
 
     cell: CellSpec
@@ -222,3 +226,4 @@ class RunSpec:
     seed_index: int
     collect_metrics: bool = False
     collect_analysis: bool = False
+    collect_profile: bool = False

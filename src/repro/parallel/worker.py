@@ -22,10 +22,16 @@ from ..experiments.config import make_swarm_config
 from ..experiments.runner import SeedStats, seed_stats
 from ..obs.analyze import RunAnalysis, analyze_observability
 from ..obs.context import Observability
+from ..obs.profile import EngineProfile
 from ..p2p.swarm import Swarm
 from ..units import kB_per_s
 from .cache import splice_for
-from .snapshot import MetricsSnapshot, snapshot_registry
+from .snapshot import (
+    MetricsSnapshot,
+    ProfileSnapshot,
+    snapshot_profile,
+    snapshot_registry,
+)
 from .spec import RunSpec, SquareWave
 
 
@@ -46,6 +52,8 @@ class RunOutcome:
         analysis: the run's stall diagnosis (analyzing sweeps only);
             computed from the run's private trace where the run
             executed, so it is identical at any worker count.
+        profile: per-category engine wall time measured where the run
+            executed (profiling pool runs only).
     """
 
     cell_index: int
@@ -57,6 +65,7 @@ class RunOutcome:
     wall_seconds: float = 0.0
     metrics: MetricsSnapshot | None = None
     analysis: RunAnalysis | None = None
+    profile: ProfileSnapshot | None = None
 
     @property
     def ok(self) -> bool:
@@ -132,10 +141,12 @@ def pool_entry(spec: RunSpec) -> RunOutcome:
         # analyzing path — the trace, and therefore the attribution,
         # must not depend on where the run executed.
         obs = Observability.tracing()
-    elif spec.collect_metrics:
+    elif spec.collect_metrics or spec.collect_profile:
         obs = Observability.metrics_only()
     else:
         obs = None
+    if spec.collect_profile and obs is not None:
+        obs.profile = EngineProfile()
     try:
         outcome = execute_run(spec, obs)
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
@@ -153,5 +164,9 @@ def pool_entry(spec: RunSpec) -> RunOutcome:
     if obs is not None and spec.collect_analysis:
         outcome = replace(
             outcome, analysis=analyze_observability(obs)
+        )
+    if obs is not None and obs.profile is not None:
+        outcome = replace(
+            outcome, profile=snapshot_profile(obs.profile)
         )
     return outcome

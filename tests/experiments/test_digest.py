@@ -1,0 +1,113 @@
+"""Content digests: cross-process stability and canonical encoding."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.parallel.digest import (
+    DIGEST_LENGTH,
+    canonical_data,
+    content_digest,
+)
+
+_SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    sizes: tuple
+
+
+@dataclass(frozen=True)
+class OtherSpec:
+    name: str
+    sizes: tuple
+
+
+class TestCanonicalForm:
+    def test_digest_is_short_hex(self):
+        digest = content_digest(("flownet", 20, "star"))
+        assert len(digest) == DIGEST_LENGTH
+        int(digest, 16)
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert content_digest({"a": 1, "b": 2}) == content_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_set_iteration_order_is_irrelevant(self):
+        assert content_digest({3, 1, 2}) == content_digest({2, 3, 1})
+
+    def test_lists_and_tuples_are_equal(self):
+        assert content_digest([1, 2]) == content_digest((1, 2))
+
+    def test_dataclass_type_name_disambiguates(self):
+        one = Spec(name="x", sizes=(1,))
+        other = OtherSpec(name="x", sizes=(1,))
+        assert content_digest(one) != content_digest(other)
+
+    def test_dataclass_field_values_matter(self):
+        assert content_digest(Spec("x", (1,))) != content_digest(
+            Spec("x", (2,))
+        )
+
+    def test_bytes_digest_by_content(self):
+        assert content_digest(b"abc") == content_digest(b"abc")
+        assert content_digest(b"abc") != content_digest(b"abd")
+
+    def test_experiment_config_digests_by_value(self):
+        assert content_digest(ExperimentConfig()) == content_digest(
+            ExperimentConfig()
+        )
+        assert content_digest(ExperimentConfig()) != content_digest(
+            ExperimentConfig(n_leechers=9)
+        )
+
+    def test_deep_structures_rejected(self):
+        nested = [0]
+        for _ in range(40):
+            nested = [nested]
+        with pytest.raises(ExperimentError, match="deeper"):
+            canonical_data(nested)
+
+
+class TestCrossProcessStability:
+    def test_subprocess_computes_the_same_digest(self):
+        """The whole point: two processes agree on what a workload is.
+
+        Python's builtin ``hash`` is salted per process — this guards
+        against anything salted sneaking into the digest path.
+        """
+        payload = (
+            "flownet",
+            {"topology": "star", "n_peers": (20, 100)},
+            frozenset({"incremental", "reference"}),
+            ExperimentConfig(n_leechers=9, seeds=(7, 11)),
+        )
+        local = content_digest(payload)
+        program = (
+            "import sys; sys.path.insert(0, sys.argv[1]);\n"
+            "from repro.parallel.digest import content_digest\n"
+            "from repro.experiments.config import ExperimentConfig\n"
+            "payload = ('flownet',"
+            " {'topology': 'star', 'n_peers': (20, 100)},"
+            " frozenset({'incremental', 'reference'}),"
+            " ExperimentConfig(n_leechers=9, seeds=(7, 11)))\n"
+            "print(content_digest(payload))"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", program, _SRC],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == local

@@ -1,0 +1,102 @@
+"""EngineProfile aggregation across process-pool workers.
+
+A ``--jobs N`` sweep's merged profile must cover every worker's host
+time: event *counts* are deterministic and must match the serial run
+exactly; wall seconds are host-time measurements and only need to be
+present and positive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs.context import Observability
+from repro.obs.profile import EngineProfile
+from repro.parallel import SplicerSpec, SweepExecutor, cell_for
+from repro.parallel.snapshot import (
+    ProfileSnapshot,
+    merge_profile,
+    snapshot_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def profile_cells(request):
+    config = ExperimentConfig(
+        n_leechers=2, seeds=(5, 9), max_time=300.0
+    )
+    video = request.getfixturevalue("tiny_video")
+    return [
+        cell_for(
+            SplicerSpec("duration", 4.0),
+            512,
+            config,
+            video=video,
+            label="profile/duration-4s @ 512",
+        ),
+        cell_for(
+            SplicerSpec("gop"),
+            512,
+            config,
+            video=video,
+            label="profile/gop @ 512",
+        ),
+    ]
+
+
+def run_profiled(jobs, cells):
+    obs = Observability.metrics_only()
+    obs.profile = EngineProfile()
+    SweepExecutor(jobs=jobs).run_cells(cells, obs=obs)
+    return obs.profile
+
+
+class TestPoolAggregation:
+    def test_pool_profile_counts_match_serial(self, profile_cells):
+        serial = run_profiled(1, profile_cells)
+        pooled = run_profiled(2, profile_cells)
+        assert serial.counts  # the serial run actually profiled
+        assert pooled.counts == serial.counts
+
+    def test_pool_profile_has_wall_time_per_category(
+        self, profile_cells
+    ):
+        pooled = run_profiled(2, profile_cells)
+        assert set(pooled.wall_seconds) == set(pooled.counts)
+        assert all(
+            seconds > 0.0
+            for seconds in pooled.wall_seconds.values()
+        )
+
+    def test_unprofiled_pool_sweep_ships_no_profile(
+        self, profile_cells
+    ):
+        obs = Observability.metrics_only()
+        assert obs.profile is None
+        SweepExecutor(jobs=2).run_cells(profile_cells, obs=obs)
+        assert obs.profile is None
+
+
+class TestSnapshotPrimitives:
+    def test_snapshot_round_trip(self):
+        profile = EngineProfile()
+        profile.merge({"net.tcp": 3}, {"net.tcp": 0.5})
+        snapshot = snapshot_profile(profile)
+        assert isinstance(snapshot, ProfileSnapshot)
+        assert len(snapshot) == 1
+
+        target = EngineProfile()
+        merge_profile(target, snapshot)
+        assert target.counts == {"net.tcp": 3}
+        assert target.wall_seconds == {"net.tcp": 0.5}
+
+    def test_merge_accumulates(self):
+        profile = EngineProfile()
+        snapshot = ProfileSnapshot(
+            counts={"p2p.peer": 2}, wall_seconds={"p2p.peer": 0.1}
+        )
+        merge_profile(profile, snapshot)
+        merge_profile(profile, snapshot)
+        assert profile.counts == {"p2p.peer": 4}
+        assert profile.wall_seconds["p2p.peer"] == pytest.approx(0.2)

@@ -1,0 +1,190 @@
+"""SweepProgress reporting: live-mode gating and plain-mode lines."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.parallel.progress import (
+    NULL_PROGRESS,
+    PROGRESS_MODES,
+    SweepProgress,
+)
+from repro.parallel.worker import RunOutcome
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def spec(cell_index, label):
+    return SimpleNamespace(
+        cell_index=cell_index,
+        cell=SimpleNamespace(describe=lambda: label),
+    )
+
+
+def ok_outcome(cell_index, seed=7, stalls=2.0):
+    return RunOutcome(
+        cell_index=cell_index,
+        seed_index=0,
+        seed=seed,
+        label=f"cell-{cell_index}",
+        stats=SimpleNamespace(stall_count=stalls),
+    )
+
+
+def failed_outcome(cell_index, seed=7):
+    return RunOutcome(
+        cell_index=cell_index,
+        seed_index=0,
+        seed=seed,
+        label=f"cell-{cell_index}",
+        error="ValueError: boom",
+    )
+
+
+def plain_progress(min_interval=0.0, clock=None):
+    stream = io.StringIO()
+    progress = SweepProgress(
+        stream=stream,
+        mode="plain",
+        min_interval=min_interval,
+        clock=clock if clock is not None else FakeClock(),
+    )
+    return progress, stream
+
+
+class TestModeSelection:
+    def test_modes_are_exactly_live_and_plain(self):
+        assert PROGRESS_MODES == ("live", "plain")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown progress"):
+            SweepProgress(stream=io.StringIO(), mode="fancy")
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ExperimentError, match="min_interval"):
+            SweepProgress(
+                stream=io.StringIO(), mode="plain", min_interval=-1.0
+            )
+
+    def test_live_mode_disabled_without_tty(self):
+        progress = SweepProgress(stream=io.StringIO(), mode="live")
+        assert not progress.enabled
+
+    def test_plain_mode_enabled_without_tty(self):
+        progress, _ = plain_progress()
+        assert progress.enabled
+
+    def test_null_progress_is_inert(self):
+        NULL_PROGRESS.begin([spec(0, "a")])
+        NULL_PROGRESS.update(ok_outcome(0))
+        NULL_PROGRESS.finish()
+        assert not NULL_PROGRESS.enabled
+
+
+class TestPlainMode:
+    def test_header_cells_and_summary(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(ok_outcome(0, stalls=3.0))
+        progress.update(ok_outcome(1, stalls=1.0))
+        progress.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "sweep: starting 2 cells (2 runs)"
+        assert "cell-a done (3.0 stalls/peer" in lines[1]
+        assert lines[-1] == (
+            "sweep: 2/2 cells done, 0 failed, 2/2 runs"
+        )
+        # Append-only: no carriage returns anywhere.
+        assert "\r" not in stream.getvalue()
+
+    def test_cell_line_waits_for_all_seeds(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(0, "cell-a")])
+        progress.update(ok_outcome(0, seed=7, stalls=4.0))
+        assert "done" not in stream.getvalue()
+        progress.update(ok_outcome(0, seed=11, stalls=2.0))
+        # Mean over both seeds: (4 + 2) / 2.
+        assert "cell-a done (3.0 stalls/peer" in stream.getvalue()
+
+    def test_failures_print_immediately_with_error(self):
+        clock = FakeClock()
+        progress, stream = plain_progress(
+            min_interval=60.0, clock=clock
+        )
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(ok_outcome(0))  # sets _last_emit
+        progress.update(failed_outcome(1))
+        assert (
+            "sweep: cell-b seed 7 FAILED (ValueError: boom)"
+            in stream.getvalue()
+        )
+
+    def test_rate_limit_folds_intermediate_cells(self):
+        clock = FakeClock()
+        progress, stream = plain_progress(
+            min_interval=1.0, clock=clock
+        )
+        progress.begin([spec(i, f"cell-{i}") for i in range(3)])
+        clock.advance(1.5)
+        progress.update(ok_outcome(0))  # past the interval: emits
+        clock.advance(0.1)
+        progress.update(ok_outcome(1))  # suppressed: too soon
+        clock.advance(0.1)
+        progress.update(ok_outcome(2))  # final: always emits
+        lines = stream.getvalue().splitlines()
+        assert any("cell-0 done" in line for line in lines)
+        assert not any("cell-1 done" in line for line in lines)
+        assert any("cell-2 done" in line for line in lines)
+
+    def test_final_summary_counts_failures(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(failed_outcome(0))
+        progress.update(ok_outcome(1))
+        progress.finish()
+        assert (
+            "sweep: 2/2 cells done, 1 failed, 2/2 runs"
+            in stream.getvalue()
+        )
+
+    def test_executor_drives_plain_mode(
+        self, tiny_video
+    ):
+        """End-to-end: a real (serial) sweep through a plain reporter."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.parallel import (
+            SplicerSpec,
+            SweepExecutor,
+            cell_for,
+        )
+
+        config = ExperimentConfig(
+            n_leechers=2, seeds=(5,), max_time=300.0
+        )
+        cells = [
+            cell_for(
+                SplicerSpec("duration", 4.0),
+                512,
+                config,
+                video=tiny_video,
+                label="progress/cell",
+            )
+        ]
+        progress, stream = plain_progress()
+        SweepExecutor(jobs=1, progress=progress).run_cells(cells)
+        output = stream.getvalue()
+        assert "sweep: starting 1 cells (1 runs)" in output
+        assert "progress/cell" in output

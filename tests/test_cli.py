@@ -86,6 +86,199 @@ class TestCommands:
         assert "128 kB/s" in out
 
 
+class TestVersionEnvironment:
+    def test_version_prints_environment_block(self, capsys):
+        import platform
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert platform.python_version() in out
+        assert "cpus" in out
+
+
+class TestProgressFlag:
+    def test_bare_flag_selects_live(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--progress"]
+        )
+        assert args.progress == "live"
+
+    def test_plain_mode(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--progress", "plain"]
+        )
+        assert args.progress == "plain"
+
+    def test_default_is_off(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.progress is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["reproduce", "--progress", "fancy"]
+            )
+
+
+class TestBenchCommand:
+    def test_list_names_every_suite(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "flownet" in out
+        assert "fig2_stalls" in out
+        assert "parallel_speedup" in out
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["bench", "no_such_suite"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown suite" in err
+        assert "repro bench list" in err
+
+    def test_quick_suite_writes_valid_artifact(
+        self, capsys, tmp_path
+    ):
+        from repro.obs.bench import load_artifact
+
+        target = tmp_path / "BENCH_fig1_rspec.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "fig1_rspec",
+                    "--quick",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "suite fig1_rspec: 1 case(s)" in out
+        payload = load_artifact(target)
+        assert payload["quick"] is True
+        assert payload["cases"][0]["id"] == "build_serialize_parse"
+
+
+class TestCompareCommand:
+    @pytest.fixture()
+    def artifact_pair(self, tmp_path):
+        """A baseline artifact and a path for a candidate copy."""
+        import json
+
+        from repro.obs.bench import BenchHarness
+
+        harness = BenchHarness("demo", results_dir=tmp_path)
+        harness.case("c", lambda: None, digest_of=("w", 1))
+        harness.annotate(events_fired=1000)
+        baseline = harness.write(tmp_path / "baseline.json")
+        payload = json.loads(baseline.read_text())
+        return baseline, tmp_path / "candidate.json", payload
+
+    def test_self_compare_exits_0(self, capsys, artifact_pair):
+        baseline, _, _ = artifact_pair
+        assert main(["compare", str(baseline), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_injected_slowdown_exits_1(self, capsys, artifact_pair):
+        import json
+
+        baseline, candidate, payload = artifact_pair
+        timing = payload["cases"][0]["timing"]
+        for name in ("best_s", "mean_s"):
+            timing[name] *= 1.5  # 50% slower, well past any threshold
+        payload["cases"][0]["events_per_sec"] = None
+        candidate.write_text(json.dumps(payload))
+        assert (
+            main(
+                [
+                    "compare",
+                    str(baseline),
+                    str(candidate),
+                    "--threshold",
+                    "20",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "1 regression(s)" in out
+
+    def test_malformed_artifact_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.bench/999"}')
+        assert main(["compare", str(bad), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["compare", str(missing), str(missing)]) == 2
+        assert "cannot read artifact" in capsys.readouterr().err
+
+    def test_custom_metric_selection(self, capsys, artifact_pair):
+        import json
+
+        baseline, candidate, payload = artifact_pair
+        payload["cases"][0]["metrics"] = {"stalls": 99.0}
+        candidate.write_text(json.dumps(payload))
+        base_payload = json.loads(baseline.read_text())
+        base_payload["cases"][0]["metrics"] = {"stalls": 10.0}
+        baseline.write_text(json.dumps(base_payload))
+        assert (
+            main(
+                [
+                    "compare",
+                    str(baseline),
+                    str(candidate),
+                    "--metric",
+                    "metrics.stalls",
+                ]
+            )
+            == 1
+        )
+        assert "metrics.stalls" in capsys.readouterr().out
+
+
+class TestManifestFlag:
+    @pytest.mark.slow
+    def test_reproduce_writes_run_manifest(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "reproduce",
+                    "--quick",
+                    "--figure",
+                    "2",
+                    "--manifest",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"run manifest -> {path}" in out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.manifest/1"
+        assert "--figure 2" in payload["command"]
+        assert payload["env"]["usable_cores"] >= 1
+        sweep = payload["sweep"]
+        assert sweep["runs"] > 0
+        assert sweep["events_fired"] > 0
+
+    def test_unwritable_manifest_exits_2(self, capsys, tmp_path):
+        # Parse-level smoke for the flag without running a sweep.
+        args = build_parser().parse_args(
+            ["reproduce", "--manifest", str(tmp_path / "m.json")]
+        )
+        assert args.manifest == str(tmp_path / "m.json")
+
+
 class TestTraceCommand:
     def test_missing_file_exits_2(self, capsys, tmp_path):
         code = main(["trace", str(tmp_path / "nope.jsonl")])
