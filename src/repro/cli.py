@@ -14,7 +14,10 @@ Commands:
 * ``bench`` — run a benchmark suite through the shared harness and
   write its versioned ``BENCH_<suite>.json`` artifact;
 * ``compare`` — diff two benchmark artifacts and exit non-zero on
-  regression (the CI perf gate).
+  regression (the CI perf gate);
+* ``lint`` — determinism & sim-safety static analysis over the
+  source tree; exits 1 on findings or stale suppressions (the CI
+  lint gate).
 """
 
 from __future__ import annotations
@@ -71,10 +74,16 @@ class _VersionAction(argparse.Action):
     """
 
     def __call__(self, parser, namespace, values, option_string=None):
+        from .lint import CATALOG_VERSION, LINT_SCHEMA, rule_ids
         from .obs.manifest import render_environment
 
         print(f"repro {__version__}")
         print(render_environment())
+        ids = rule_ids()
+        print(
+            f"lint {LINT_SCHEMA} catalog v{CATALOG_VERSION} "
+            f"({len(ids)} rules: {' '.join(ids)})"
+        )
         parser.exit()
 
 
@@ -275,6 +284,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "determinism & sim-safety static analysis; exit 1 on "
+            "findings or stale suppressions"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "files or directories to lint (default: the src/repro "
+            "tree of the enclosing checkout)"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "text (default): path:line:col findings with fix hints; "
+            "json: one repro.lint/1 document on stdout"
+        ),
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help=(
+            "enable only these rule ids (repeatable, comma lists "
+            "accepted); overrides [tool.repro.lint] select"
+        ),
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help=(
+            "disable these rule ids (repeatable, comma lists "
+            "accepted); overrides [tool.repro.lint] ignore"
+        ),
+    )
+    lint.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding/suppression counts",
+    )
+
     compare = sub.add_parser(
         "compare",
         help=(
@@ -335,6 +395,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    # repro: lint-ok[E1] unreachable parser-dispatch guard
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -664,6 +727,83 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 2
     print(render_comparison(comparison))
     return 0 if comparison.ok else 1
+
+
+def _default_lint_paths() -> list[str] | None:
+    """Locate ``src/repro``: the cwd's checkout, then the package.
+
+    Mirrors :func:`_bench_dir`: ``repro lint`` is usually run from
+    the repository root, but falls back to linting the installed
+    package sources so it works from anywhere inside a checkout.
+    """
+    for candidate in (
+        Path("src") / "repro",
+        Path(__file__).resolve().parent,
+    ):
+        if candidate.is_dir():
+            return [str(candidate)]
+    return None
+
+
+def _lint_rule_list(raw: list[str] | None) -> tuple[str, ...] | None:
+    """Flatten repeatable/comma-separated rule-id flags."""
+    if raw is None:
+        return None
+    rules: list[str] = []
+    for chunk in raw:
+        rules.extend(
+            part.strip() for part in chunk.split(",") if part.strip()
+        )
+    return tuple(rules)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .errors import LintError
+    from .lint import (
+        build_payload,
+        lint_paths,
+        load_config,
+        render_text,
+    )
+
+    paths = args.paths or _default_lint_paths()
+    if not paths:
+        print(
+            "error: no paths given and no src/repro tree found",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = lint_paths(
+            paths,
+            config=load_config(),
+            select=_lint_rule_list(args.select),
+            ignore=_lint_rule_list(args.ignore),
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        payload = build_payload(
+            result,
+            paths=[str(path) for path in paths],
+            select=_lint_rule_list(args.select) or (),
+            ignore=_lint_rule_list(args.ignore) or (),
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            render_text(
+                result.findings,
+                result.unused_suppressions,
+                statistics=(
+                    result.statistics() if args.statistics else None
+                ),
+            )
+        )
+    return 0 if result.clean else 1
 
 
 def _cmd_rspec(args: argparse.Namespace) -> int:

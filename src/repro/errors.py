@@ -88,6 +88,15 @@ class TraceError(ReproError):
     """A trace, metric, or exporter was configured or parsed incorrectly."""
 
 
+class LintError(ReproError):
+    """A lint run was misconfigured or a source file is unusable.
+
+    Covers bad rule selections, unreadable/unparseable sources,
+    malformed suppression comments, and ``repro.lint/1`` payload
+    drift — *not* rule findings, which are data, not exceptions.
+    """
+
+
 class ArtifactError(ReproError):
     """A benchmark artifact is missing, malformed, or schema-invalid."""
 

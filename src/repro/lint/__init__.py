@@ -1,0 +1,97 @@
+"""``repro.lint`` — determinism & sim-safety static analysis.
+
+The reproduction's guarantees — bit-identical sweeps at any worker
+count, golden-trace digest stability, cross-process workload digests —
+are runtime-verified by parity and golden tests, which only fail
+*after* a stray wall-clock read or unordered ``set`` iteration has
+already poisoned a run.  This package checks the invariants
+statically: an AST rule engine with per-rule ids, fix hints,
+``# repro: lint-ok[RULE] reason`` suppressions (stale ones fail the
+run), pyproject-scoped module classification, and a versioned JSON
+findings schema, surfaced as ``repro lint`` and a CI gate.
+
+Catalog (see docs/LINTING.md for rationale and blind spots):
+
+==== ==========================================================
+D1   no wall-clock reads in sim-path modules
+D2   no module-level or un-seeded random / numpy.random use
+D3   no unordered set/frozenset/dict.keys() iteration without
+     sorted(...) in sim-path code
+D4   sweep spec dataclasses picklable by construction
+D5   tracer.emit(...) only inside a tracer-enabled guard
+E1   every raise uses the repro.errors hierarchy
+==== ==========================================================
+
+Programmatic use::
+
+    from repro.lint import lint_paths, load_config
+
+    result = lint_paths(["src/repro"], config=load_config())
+    assert result.clean, result.findings
+"""
+
+from .config import (
+    DEFAULT_SIM_PATH,
+    DEFAULT_WALLCLOCK_ALLOW,
+    LintConfig,
+    find_pyproject,
+    load_config,
+)
+from .report import (
+    Finding,
+    UnusedSuppression,
+    render_statistics,
+    render_text,
+)
+from .rules import (
+    CATALOG_VERSION,
+    RULE_CATALOG,
+    Rule,
+    catalog_description,
+    rule_ids,
+)
+from .runner import (
+    LintResult,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from .schema import (
+    LINT_SCHEMA,
+    build_payload,
+    load_payload,
+    validate_payload,
+)
+from .suppressions import Suppression, parse_suppressions
+from .walker import ModuleContext, discover, in_scope, module_name
+
+__all__ = [
+    "CATALOG_VERSION",
+    "DEFAULT_SIM_PATH",
+    "DEFAULT_WALLCLOCK_ALLOW",
+    "Finding",
+    "LINT_SCHEMA",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "RULE_CATALOG",
+    "Rule",
+    "Suppression",
+    "UnusedSuppression",
+    "build_payload",
+    "catalog_description",
+    "discover",
+    "find_pyproject",
+    "in_scope",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "load_payload",
+    "module_name",
+    "parse_suppressions",
+    "render_statistics",
+    "render_text",
+    "resolve_rules",
+    "rule_ids",
+    "validate_payload",
+]

@@ -1,0 +1,148 @@
+"""The versioned ``repro.lint/1`` findings schema.
+
+``repro lint --format=json`` emits one self-describing JSON document
+per run, following the same conventions as the ``repro.bench/1``
+artifacts (PR 6): a ``schema`` tag readers must recognise, flat
+JSON-native types throughout, and a validator that rejects drift
+loudly instead of letting consumers misparse.
+
+Layout::
+
+    {
+      "schema": "repro.lint/1",
+      "catalog": {"version": 1, "rules": [{id, severity, summary}]},
+      "paths": [...],                  # as given on the command line
+      "select": [...], "ignore": [...],
+      "findings": [
+        {rule, severity, path, module, line, col, message, hint}
+      ],
+      "unused_suppressions": [{path, line, rule, reason}],
+      "statistics": {
+        "modules": N, "findings": N, "suppressed": N,
+        "unused_suppressions": N,
+        "per_rule": {"D1": {"findings": N, "suppressed": N}, ...}
+      },
+      "clean": bool                    # exit-0 <=> true
+    }
+
+Bump the schema integer on any backwards-incompatible layout change
+(schema-version policy: docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import LintError
+
+#: Schema tag of the JSON findings document.
+LINT_SCHEMA = "repro.lint/1"
+
+_FINDING_KEYS = frozenset({
+    "rule", "severity", "path", "module", "line", "col", "message",
+    "hint",
+})
+_UNUSED_KEYS = frozenset({"path", "line", "rule", "reason"})
+_STATISTICS_KEYS = frozenset({
+    "modules", "findings", "suppressed", "unused_suppressions",
+    "per_rule",
+})
+
+
+def build_payload(
+    result,
+    *,
+    paths: list[str],
+    select: tuple[str, ...],
+    ignore: tuple[str, ...],
+) -> dict:
+    """The JSON document for one lint run.
+
+    Args:
+        result: a :class:`~repro.lint.runner.LintResult`.
+        paths: the paths as requested (not the expanded file list).
+        select: effective rule selection (empty = all).
+        ignore: effective rule ignores.
+    """
+    from .rules import CATALOG_VERSION, catalog_description
+
+    return {
+        "schema": LINT_SCHEMA,
+        "catalog": {
+            "version": CATALOG_VERSION,
+            "rules": catalog_description(),
+        },
+        "paths": [str(path) for path in paths],
+        "select": list(select),
+        "ignore": list(ignore),
+        "findings": [
+            finding.to_dict() for finding in result.findings
+        ],
+        "unused_suppressions": [
+            entry.to_dict() for entry in result.unused_suppressions
+        ],
+        "statistics": result.statistics(),
+        "clean": result.clean,
+    }
+
+
+def validate_payload(payload: dict) -> dict:
+    """Check ``payload`` against ``repro.lint/1``; return it.
+
+    Raises:
+        LintError: the payload is not a recognisable lint document
+            (wrong/missing schema tag, missing sections, or findings
+            entries with missing keys).
+    """
+    if not isinstance(payload, dict):
+        raise LintError("lint payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema != LINT_SCHEMA:
+        raise LintError(
+            f"unrecognised lint schema {schema!r} "
+            f"(expected {LINT_SCHEMA!r})"
+        )
+    for key in ("catalog", "findings", "unused_suppressions",
+                "statistics", "clean"):
+        if key not in payload:
+            raise LintError(f"lint payload missing {key!r}")
+    if not isinstance(payload["findings"], list):
+        raise LintError("lint payload 'findings' must be a list")
+    for entry in payload["findings"]:
+        missing = _FINDING_KEYS - set(entry)
+        if missing:
+            raise LintError(
+                f"finding entry missing keys: "
+                f"{', '.join(sorted(missing))}"
+            )
+    for entry in payload["unused_suppressions"]:
+        missing = _UNUSED_KEYS - set(entry)
+        if missing:
+            raise LintError(
+                f"unused-suppression entry missing keys: "
+                f"{', '.join(sorted(missing))}"
+            )
+    statistics = payload["statistics"]
+    missing = _STATISTICS_KEYS - set(statistics)
+    if missing:
+        raise LintError(
+            f"statistics block missing keys: "
+            f"{', '.join(sorted(missing))}"
+        )
+    return payload
+
+
+def load_payload(path: str) -> dict:
+    """Read and validate a lint JSON document from ``path``.
+
+    Raises:
+        LintError: unreadable file, invalid JSON, or schema drift.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise LintError(f"cannot read '{path}': {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"'{path}' is not valid JSON: {exc}") from exc
+    return validate_payload(payload)

@@ -1,0 +1,216 @@
+"""Source discovery and per-module AST context for the linter.
+
+The linter never imports the code it checks: a module is a path, its
+source text, and a parsed AST.  :class:`ModuleContext` adds the three
+derived views every rule needs —
+
+* a parent map (``ast`` has no child→parent links, but "is this call
+  inside a tracer-enabled guard?" is an ancestor question),
+* import-alias resolution, so ``from time import monotonic as clock``
+  and ``import time as t`` both resolve a call site back to the
+  canonical dotted name ``time.monotonic``,
+* dotted module naming derived from the file path, so scope rules
+  ("sim-path modules only") match on ``repro.p2p.leecher`` rather
+  than on filesystem layout.
+
+Discovery is deterministic: directories expand to their ``*.py``
+files in sorted path order, so two runs over the same tree emit
+findings in the same order — the linter holds itself to the
+invariants it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import LintError
+
+
+def discover(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Raises:
+        LintError: a named path does not exist.
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintError(f"no such file or directory: '{raw}'")
+    return sorted(files)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the package root.
+
+    Walks up from the file through directories that contain an
+    ``__init__.py`` (the enclosing package chain); outside any
+    package the bare stem is used.  ``__init__.py`` itself names the
+    package: ``src/repro/p2p/__init__.py`` -> ``repro.p2p``.
+    """
+    resolved = Path(path).resolve()
+    parts = [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else resolved.stem
+
+
+@dataclass
+class ModuleContext:
+    """One module, parsed and indexed for rule evaluation.
+
+    Attributes:
+        path: source file location (as given, for reporting).
+        module: dotted module name (see :func:`module_name`).
+        source: full source text.
+        tree: parsed AST.
+        parents: child AST node -> parent AST node.
+        module_aliases: local name -> imported module dotted name
+            (``import numpy.random as npr`` -> ``npr: numpy.random``).
+        name_imports: local name -> ``(module, original)`` for
+            ``from M import x as y`` bindings.
+    """
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.AST
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    name_imports: dict[str, tuple[str, str]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def parse(
+        cls, path: str | Path, source: str | None = None,
+        module: str | None = None,
+    ) -> "ModuleContext":
+        """Parse ``path`` (or explicit ``source``) into a context.
+
+        Raises:
+            LintError: the file cannot be read or does not parse.
+        """
+        path = Path(path)
+        if source is None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise LintError(f"cannot read '{path}': {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(
+                f"cannot parse '{path}': {exc.msg} (line {exc.lineno})"
+            ) from exc
+        ctx = cls(
+            path=path,
+            module=module if module is not None else module_name(path),
+            source=source,
+            tree=tree,
+        )
+        ctx._index()
+        return ctx
+
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b" binds "a"; "import a.b as c" binds
+                    # "c" to the full dotted path.
+                    target = alias.name if alias.asname else local
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    # Relative imports stay package-local; record them
+                    # with a leading dot so absolute-name matching
+                    # (e.g. "time.monotonic") can never collide.
+                    base = "." * (node.level or 0) + (node.module or "")
+                else:
+                    base = node.module
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.name_imports[local] = (base, alias.name)
+
+    # -- resolution helpers -------------------------------------------
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """The canonical dotted name a Name/Attribute refers to.
+
+        Resolves through import aliases: with ``import time as t``,
+        ``t.monotonic`` -> ``"time.monotonic"``; with ``from datetime
+        import datetime``, ``datetime.now`` ->
+        ``"datetime.datetime.now"``.  Returns ``None`` for anything
+        that is not a plain dotted chain rooted at a name (calls,
+        subscripts, literals ...).
+        """
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        chain.reverse()
+        root = chain[0]
+        if root in self.module_aliases:
+            chain[0] = self.module_aliases[root]
+        elif root in self.name_imports:
+            base, original = self.name_imports[root]
+            chain[0] = f"{base}.{original}"
+        return ".".join(chain)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The nearest enclosing function definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The nearest enclosing class definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+
+def in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    """Whether ``module`` falls under any dotted ``prefixes`` entry.
+
+    A prefix matches itself and its submodules: ``repro.p2p`` covers
+    ``repro.p2p`` and ``repro.p2p.leecher`` but not
+    ``repro.p2p_extras``.
+    """
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )

@@ -499,6 +499,7 @@ class FlowNetwork:
                 ),
                 default=float("inf"),
             )
+            # repro: lint-ok[D3] min() reduction is order-independent
             for flow in unfrozen:
                 if flow.rate_limit is not None:
                     delta = min(delta, flow.rate_limit - flow._rate)
@@ -507,6 +508,7 @@ class FlowNetwork:
             delta = max(delta, 0.0)
 
             if delta > 0:
+                # repro: lint-ok[D3] same delta added to each flow
                 for flow in unfrozen:
                     flow._rate += delta
                 for name, members in link_unfrozen.items():
@@ -515,6 +517,7 @@ class FlowNetwork:
             # Freeze flows that hit their cap or sit on a full link.
             newly_frozen = {
                 flow
+                # repro: lint-ok[D3] builds a set; order-free
                 for flow in unfrozen
                 if flow.rate_limit is not None
                 and flow._rate >= flow.rate_limit - _RATE_EPSILON

@@ -177,6 +177,7 @@ class ReferenceFlowNetwork:
                 ),
                 default=float("inf"),
             )
+            # repro: lint-ok[D3] min() reduction is order-independent
             for flow in unfrozen:
                 if flow.rate_limit is not None:
                     delta = min(delta, flow.rate_limit - flow._rate)
@@ -185,6 +186,7 @@ class ReferenceFlowNetwork:
             delta = max(delta, 0.0)
 
             if delta > 0:
+                # repro: lint-ok[D3] same delta added to each flow
                 for flow in unfrozen:
                     flow._rate += delta
                 for name, members in link_unfrozen.items():
@@ -192,6 +194,7 @@ class ReferenceFlowNetwork:
 
             newly_frozen = {
                 flow
+                # repro: lint-ok[D3] builds a set; order-free
                 for flow in unfrozen
                 if flow.rate_limit is not None
                 and flow._rate >= flow.rate_limit - _RATE_EPSILON

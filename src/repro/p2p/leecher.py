@@ -373,7 +373,7 @@ class Leecher(PeerBase):
         if estimator is not None and requested_at is not None:
             estimator.record(self._sim.now, size)
         self.player.segment_available(index)
-        for peer_name in self._known_peers:
+        for peer_name in sorted(self._known_peers):
             if peer_name != self.name:
                 self.send(peer_name, Have(peer_id=self.name, index=index))
         self._refill()

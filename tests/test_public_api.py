@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.parallel",
+    "repro.lint",
 ]
 
 
