@@ -1,4 +1,8 @@
-"""Legacy shim so `python setup.py develop` works offline (no wheel pkg)."""
+"""Legacy shim so `python setup.py develop` works offline (no wheel pkg).
+
+Metadata — including the numpy dependency for the vectorized swarm
+tiers (docs/SCALING.md) — lives in pyproject.toml.
+"""
 from setuptools import setup
 
 setup()

@@ -212,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
             "revision, and sweep totals"
         ),
     )
+    reproduce.add_argument(
+        "--fidelity",
+        choices=("exact", "cohort", "fluid"),
+        default="exact",
+        help=(
+            "swarm backend for every run: 'exact' simulates each "
+            "peer, 'cohort' batches statistically-identical peers "
+            "(10^3-10^4 peers), 'fluid' integrates mean-field rate "
+            "ODEs (10^5+ peers); see docs/SCALING.md"
+        ),
+    )
 
     rspec = sub.add_parser("rspec", help="print the slice RSpec XML")
     rspec.add_argument("--peers", type=int, default=19)
@@ -450,10 +461,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.reproduce import reproduce_all
     from .parallel import SweepExecutor, SweepProgress
 
+    fidelity = getattr(args, "fidelity", "exact")
     config = (
-        ExperimentConfig(n_leechers=9, seeds=(7,))
+        ExperimentConfig(n_leechers=9, seeds=(7,), fidelity=fidelity)
         if args.quick
-        else ExperimentConfig()
+        else ExperimentConfig(fidelity=fidelity)
     )
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
@@ -526,6 +538,8 @@ def _write_run_manifest(
         command += " --quick"
     if args.figure is not None:
         command += f" --figure {args.figure}"
+    if getattr(args, "fidelity", "exact") != "exact":
+        command += f" --fidelity {args.fidelity}"
     stats = executor.stats
     payload = run_manifest(
         command,

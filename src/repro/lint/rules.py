@@ -144,7 +144,21 @@ class WallClockRule(Rule):
 
 #: ``numpy.random`` entry points that *construct* an RNG rather than
 #: touching the hidden global generator; allowed when given a seed.
-_NUMPY_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
+#: Includes the bit-generator classes so spec-seeded compositions like
+#: ``Generator(PCG64(seed))`` or ``SeedSequence(seed).spawn(n)`` (the
+#: vectorized swarm backend's idiom) pass, while their un-seeded forms
+#: — which seed themselves from OS entropy — are still flagged.
+_NUMPY_CONSTRUCTORS = frozenset({
+    "default_rng",
+    "RandomState",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+})
 
 
 @register

@@ -1,0 +1,86 @@
+"""Cohort-aware metric aggregation for the vectorized swarm tiers.
+
+The exact engine increments counters one peer-event at a time; the
+``repro.p2p.scale`` backends advance whole cohorts, so their counters
+arrive pre-aggregated.  This module maps per-cohort summaries onto the
+exact engine's counter names — weighted by cohort population — so
+``repro.obs`` consumers (`repro analyze`, run manifests, sweeps) read
+identical surfaces from every fidelity tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class CohortSummary:
+    """One cohort's end-of-run totals, before population weighting.
+
+    Attributes:
+        peers: number of peers the cohort represents.
+        segments_received: contiguous segments each member downloaded.
+        bytes_downloaded: payload bytes each member downloaded.
+        stalls: completed stall events each member experienced.
+        stall_seconds: total stalled seconds per member.
+        started: whether the cohort's players left the waiting state.
+        finished: whether the cohort's players reached the last frame.
+    """
+
+    peers: int
+    segments_received: int
+    bytes_downloaded: float
+    stalls: int
+    stall_seconds: float
+    started: bool
+    finished: bool
+
+
+def publish_cohort_aggregates(
+    registry: "MetricsRegistry",
+    summaries: Iterable[CohortSummary],
+    departures: int = 0,
+) -> None:
+    """Publish cohort totals under the exact engine's counter names.
+
+    Every per-peer counter the exact swarm increments event-by-event
+    (``swarm.joins``, ``p2p.segments_received``, ``p2p.bytes_downloaded``,
+    ``player.*``) is bumped once here, weighted by cohort population,
+    so dashboards and manifests aggregate identically across fidelity
+    tiers.
+
+    Args:
+        registry: the run's metrics registry.
+        summaries: one :class:`CohortSummary` per cohort.
+        departures: peers that left the swarm before the run ended.
+    """
+    joins = 0
+    segments = 0
+    bytes_downloaded = 0.0
+    stalls = 0
+    stall_seconds = 0.0
+    startups = 0
+    finished = 0
+    for cohort in summaries:
+        joins += cohort.peers
+        segments += cohort.peers * cohort.segments_received
+        bytes_downloaded += cohort.peers * cohort.bytes_downloaded
+        stalls += cohort.peers * cohort.stalls
+        stall_seconds += cohort.peers * cohort.stall_seconds
+        if cohort.started:
+            startups += cohort.peers
+        if cohort.finished:
+            finished += cohort.peers
+    registry.counter("swarm.joins").inc(joins)
+    if departures:
+        registry.counter("swarm.departures").inc(departures)
+    registry.counter("p2p.segments_received").inc(segments)
+    registry.counter("p2p.bytes_downloaded").inc(bytes_downloaded)
+    registry.counter("player.stalls").inc(stalls)
+    registry.counter("player.stall_seconds").inc(stall_seconds)
+    registry.counter("player.startups").inc(startups)
+    registry.counter("player.finished").inc(finished)

@@ -10,7 +10,9 @@ peer both leeches and seeds.  This package is that application:
 * :mod:`repro.p2p.peer` — plumbing shared by all peers;
 * :mod:`repro.p2p.seeder` / :mod:`repro.p2p.leecher` — the two roles;
 * :mod:`repro.p2p.churn` — peer-departure model;
-* :mod:`repro.p2p.swarm` — end-to-end session orchestration.
+* :mod:`repro.p2p.swarm` — end-to-end session orchestration;
+* :mod:`repro.p2p.scale` — vectorized cohort/fluid backends for
+  10³–10⁶-peer sessions (``SwarmConfig.fidelity``).
 """
 
 from .churn import ChurnModel
@@ -29,6 +31,7 @@ from .messages import (
     decode_message,
     encode_message,
 )
+from .scale import CohortSwarm, FluidSwarm
 from .seeder import Seeder
 from .selection import (
     PieceSelector,
@@ -36,13 +39,16 @@ from .selection import (
     SequentialSelector,
     WindowedRarestSelector,
 )
-from .swarm import Swarm, SwarmConfig
+from .swarm import FIDELITY_TIERS, Swarm, SwarmConfig, build_swarm
 from .tracker import Tracker
 from .wire import FrameDecoder, encode_frame
 
 __all__ = [
     "Bitfield",
     "ChurnModel",
+    "CohortSwarm",
+    "FIDELITY_TIERS",
+    "FluidSwarm",
     "FrameDecoder",
     "Goodbye",
     "Handshake",
@@ -63,6 +69,7 @@ __all__ = [
     "WindowedRarestSelector",
     "SwarmConfig",
     "Tracker",
+    "build_swarm",
     "decode_message",
     "encode_frame",
     "encode_message",

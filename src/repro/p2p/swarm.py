@@ -28,6 +28,9 @@ from .seeder import Seeder
 from .selection import PieceSelector, SequentialSelector
 from .tracker import Tracker
 
+#: Swarm backends selectable via :attr:`SwarmConfig.fidelity`.
+FIDELITY_TIERS = ("exact", "cohort", "fluid")
+
 
 @dataclass(frozen=True, slots=True)
 class SwarmConfig:
@@ -80,6 +83,15 @@ class SwarmConfig:
         preroll_segments: segments buffered before playback starts
             (paper: 1).
         max_time: simulation safety cap, seconds.
+        fidelity: which swarm backend runs the session — ``"exact"``
+            (the per-peer discrete-event engine), ``"cohort"`` (peers
+            batched by join epoch, vectorized; 10³–10⁴ peers), or
+            ``"fluid"`` (mean-field rate ODEs; 10⁵–10⁶ peers).  See
+            ``docs/SCALING.md`` for accuracy envelopes.
+        max_cohorts: population granularity of the vectorized tiers
+            (ignored by ``"exact"``); more cohorts, closer to exact.
+        fluid_dt: integration step of the ``"fluid"`` tier, seconds;
+            ``None`` derives one from the shortest segment duration.
     """
 
     bandwidth: float
@@ -101,11 +113,27 @@ class SwarmConfig:
     origin_one_at_a_time: bool = False
     preroll_segments: int = 1
     max_time: float = 3600.0
+    fidelity: str = "exact"
+    max_cohorts: int = 64
+    fluid_dt: float | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
             raise ConfigurationError(
                 f"bandwidth must be positive, got {self.bandwidth}"
+            )
+        if self.fidelity not in FIDELITY_TIERS:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITY_TIERS}, "
+                f"got {self.fidelity!r}"
+            )
+        if self.max_cohorts < 1:
+            raise ConfigurationError(
+                f"max_cohorts must be >= 1, got {self.max_cohorts}"
+            )
+        if self.fluid_dt is not None and self.fluid_dt <= 0:
+            raise ConfigurationError(
+                f"fluid_dt must be positive, got {self.fluid_dt}"
             )
         if self.n_leechers < 1:
             raise ConfigurationError(
@@ -347,10 +375,30 @@ class Swarm:
                         join_at + delay, self._depart, leecher
                     )
 
+    @property
+    def config(self) -> SwarmConfig:
+        """This session's :class:`SwarmConfig`."""
+        return self._config
+
     def _depart(self, leecher: Leecher) -> None:
         if leecher.alive:
             self._departed.append(leecher.name)
             leecher.leave()
+
+    def set_peer_bandwidth(self, bandwidth: float) -> None:
+        """Change every leecher's access bandwidth mid-run.
+
+        The variable-bandwidth experiments call this from scheduled
+        sim events; every fidelity tier exposes the same hook.
+        """
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {bandwidth}"
+            )
+        for leecher in self.leechers:
+            self.topology.set_node_bandwidth(
+                self.network, leecher.node, bandwidth
+            )
 
     def _finalize_observability(self) -> None:
         """Close out the run's metrics: histograms, profile, totals."""
@@ -392,3 +440,32 @@ class Swarm:
             departed=tuple(self._departed),
             end_time=self.sim.now,
         )
+
+
+def build_swarm(
+    splice: SpliceResult,
+    config: SwarmConfig,
+    obs: Observability | None = None,
+) -> "Swarm":
+    """Build the swarm backend :attr:`SwarmConfig.fidelity` selects.
+
+    Every backend exposes the same session surface — ``run()`` →
+    :class:`SwarmResult`, ``sim``, ``config``, ``obs``, and
+    ``set_peer_bandwidth`` — so runners, sweeps and benchmarks hold a
+    swarm without caring which engine is underneath.
+
+    Args:
+        splice: the spliced video to stream.
+        config: session parameters (``fidelity`` picks the engine).
+        obs: optional observability context.
+
+    Returns:
+        A ready-to-run session object.
+    """
+    if config.fidelity == "exact":
+        return Swarm(splice, config, obs=obs)
+    from .scale import CohortSwarm, FluidSwarm
+
+    if config.fidelity == "cohort":
+        return CohortSwarm(splice, config, obs=obs)
+    return FluidSwarm(splice, config, obs=obs)

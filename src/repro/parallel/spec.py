@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..core.policy import DownloadPolicy
 from ..core.splicer import DurationSplicer, GopSplicer, Splicer
 from ..errors import ExperimentError
+from ..p2p.swarm import FIDELITY_TIERS
 from ..video.bitstream import Bitstream
 from ..video.encoder import encode_paper_video
 from ..experiments.config import ExperimentConfig
@@ -133,6 +134,10 @@ class CellSpec:
             cross-process cache; shipped pickled to workers).
         preroll_segments: override of the player's pre-roll depth.
         square_wave: optional mid-run bandwidth modulation.
+        fidelity: swarm-backend override for this cell (``None``
+            defers to ``config.fidelity``).  Part of the cell's
+            content digest: changing the backend changes the spec
+            identity, so manifests and caches never conflate tiers.
         label: human-readable cell identity used in failure reports
             (e.g. ``"fig2/gop @ 128 kB/s"``).
     """
@@ -145,12 +150,20 @@ class CellSpec:
     video: Bitstream | None = None
     preroll_segments: int | None = None
     square_wave: SquareWave | None = None
+    fidelity: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
         if (self.video_spec is None) == (self.video is None):
             raise ExperimentError(
                 "exactly one of video_spec/video must be given"
+            )
+        if self.fidelity is not None and self.fidelity not in (
+            FIDELITY_TIERS
+        ):
+            raise ExperimentError(
+                f"fidelity must be one of {FIDELITY_TIERS}: "
+                f"{self.fidelity!r}"
             )
 
     def describe(self) -> str:
@@ -172,6 +185,7 @@ def cell_for(
     video: Bitstream | None = None,
     preroll_segments: int | None = None,
     square_wave: SquareWave | None = None,
+    fidelity: str | None = None,
     label: str = "",
 ) -> CellSpec:
     """Build a cell, picking the cacheable path when possible.
@@ -192,6 +206,7 @@ def cell_for(
         video=video,
         preroll_segments=preroll_segments,
         square_wave=square_wave,
+        fidelity=fidelity,
         label=label,
     )
 

@@ -23,7 +23,7 @@ from ..experiments.runner import SeedStats, seed_stats
 from ..obs.analyze import RunAnalysis, analyze_observability
 from ..obs.context import Observability
 from ..obs.profile import EngineProfile
-from ..p2p.swarm import Swarm
+from ..p2p.swarm import Swarm, build_swarm
 from ..units import kB_per_s
 from .cache import splice_for
 from .snapshot import (
@@ -81,10 +81,7 @@ def _schedule_square_wave(
     high = base * (1.0 + wave.amplitude)
 
     def set_level(level: float, next_level: float) -> None:
-        for leecher in swarm.leechers:
-            swarm.topology.set_node_bandwidth(
-                swarm.network, leecher.node, level
-            )
+        swarm.set_peer_bandwidth(level)
         swarm.sim.schedule(
             wave.period / 2.0, set_level, next_level, level
         )
@@ -113,7 +110,9 @@ def execute_run(
         swarm_config = replace(
             swarm_config, preroll_segments=cell.preroll_segments
         )
-    swarm = Swarm(splice, swarm_config, obs=obs)
+    if cell.fidelity is not None:
+        swarm_config = replace(swarm_config, fidelity=cell.fidelity)
+    swarm = build_swarm(splice, swarm_config, obs=obs)
     if cell.square_wave is not None:
         _schedule_square_wave(
             swarm, kB_per_s(cell.bandwidth_kb), cell.square_wave

@@ -182,6 +182,34 @@ class TestD2GlobalRandom:
             select=("D2",),
         )
 
+    def test_flags_unseeded_numpy_bit_generator(self):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            def build():
+                return np.random.Generator(np.random.PCG64())
+            """,
+            select=("D2",),
+        )
+        assert rules_of(findings) == ["D2"]
+        assert "un-seeded" in findings[0].message
+
+    def test_seeded_numpy_bit_generator_composition_passes(self):
+        assert not findings_for(
+            """
+            import numpy as np
+
+            def build(seed):
+                streams = np.random.SeedSequence(seed).spawn(2)
+                return [
+                    np.random.Generator(np.random.PCG64(s))
+                    for s in streams
+                ]
+            """,
+            select=("D2",),
+        )
+
 
 class TestD3UnorderedIteration:
     def test_flags_for_over_set_typed_local(self):
