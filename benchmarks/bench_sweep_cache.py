@@ -1,0 +1,138 @@
+"""Cold vs warm sweep wall time through the content-addressed store.
+
+Runs the combined fig2-fig5 cell grid twice against one
+``ResultStore``: the ``cold`` case computes and commits every run, the
+``warm`` case re-runs the byte-identical sweep and must serve *every*
+run from disk — zero cells recomputed, a warm/cold speedup well past
+an order of magnitude, and results exactly equal to the cold pass.
+
+Case digests deliberately exclude the scale (quick vs full): the hit
+rates are scale-independent facts, so a quick CI candidate gates its
+``metrics.hit_rate`` against the committed full-scale artifact.  Do
+NOT cross-compare timing metrics between quick and full runs of this
+suite — CI passes ``--metric metrics.hit_rate`` explicitly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.experiments import fig2, fig3, fig4, fig5
+from repro.experiments.config import ExperimentConfig
+from repro.parallel import ResultStore, SweepExecutor, default_jobs
+
+#: Reduced bandwidth axes for --quick (mirrors reproduce --quick).
+_QUICK_BANDWIDTHS_KB = (128, 512)
+
+#: Minimum warm-over-cold speedup the full-scale suite must show.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _all_cells(config, quick):
+    cells = []
+    for module in (fig2, fig3, fig4, fig5):
+        if quick:
+            cells.extend(
+                module.cells(config, bandwidths_kb=_QUICK_BANDWIDTHS_KB)
+            )
+        else:
+            cells.extend(module.cells(config))
+    return cells
+
+
+def run_suite(harness, quick=False):
+    config = ExperimentConfig(
+        n_leechers=9, seeds=(7,) if quick else (7, 11)
+    )
+    cells = _all_cells(config, quick)
+    jobs = max(2, default_jobs())
+
+    with tempfile.TemporaryDirectory() as root:
+        def _sweep():
+            executor = SweepExecutor(
+                jobs=jobs, store=ResultStore(root)
+            )
+            start = time.perf_counter()
+            results = executor.run_cells(cells)
+            elapsed = time.perf_counter() - start
+            return (results, executor.stats), elapsed
+
+        cold_results, cold_stats = harness.case(
+            "cold",
+            _sweep,
+            self_timed=True,
+            params={
+                "jobs": jobs,
+                "cells": len(cells),
+                "runs": cold_runs(config, cells),
+                "quick": quick,
+            },
+            digest_of=("sweep_cache", "cold", "v1"),
+        )
+        cold_s = harness.cases[-1].timing.best_s
+        harness.annotate(
+            events_fired=cold_stats.events_fired,
+            sim_seconds=cold_stats.sim_seconds,
+            hit_rate=0.0,
+            cells_recomputed=float(cold_stats.cells_computed),
+        )
+
+        warm_results, warm_stats = harness.case(
+            "warm",
+            _sweep,
+            self_timed=True,
+            params={
+                "jobs": jobs,
+                "cells": len(cells),
+                "runs": cold_runs(config, cells),
+                "quick": quick,
+            },
+            digest_of=("sweep_cache", "warm", "v1"),
+        )
+        warm_s = harness.cases[-1].timing.best_s
+        hit_rate = warm_stats.runs_cached / max(1, warm_stats.runs)
+        harness.annotate(
+            hit_rate=hit_rate,
+            cells_recomputed=float(warm_stats.cells_computed),
+        )
+
+    # The store's contract, asserted where the numbers are made:
+    # a byte-identical re-run recomputes nothing and changes nothing.
+    assert warm_results == cold_results
+    assert warm_stats.runs_cached == warm_stats.runs
+    assert warm_stats.cells_computed == 0
+    assert warm_stats.events_fired == 0
+
+    speedup = cold_s / warm_s
+    harness.annotate("warm", warm_speedup=speedup)
+    if not quick:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm sweep only {speedup:.1f}x faster than cold "
+            f"(need >= {MIN_WARM_SPEEDUP:.0f}x)"
+        )
+
+    lines = [
+        "warm-sweep cache (fig2-fig5 grid, "
+        f"{len(cells)} cells x {len(config.seeds)} seeds)",
+        f"worker processes:   {jobs}",
+        f"runs per sweep:     {cold_stats.runs}",
+        f"simulated events:   {cold_stats.events_fired}",
+        f"cold (compute+put): {cold_s:8.2f} s",
+        f"warm (pure hits):   {warm_s:8.4f} s",
+        f"warm hit rate:      {hit_rate:8.1%}",
+        f"cells recomputed:   {warm_stats.cells_computed:8d}",
+        f"warm speedup:       {speedup:8.1f}x",
+        "results identical:  yes",
+    ]
+    harness.emit("\n".join(lines), name="sweep_cache")
+    return speedup
+
+
+def cold_runs(config, cells):
+    """Total runs the sweep expands to (cells x seeds)."""
+    return len(cells) * len(config.seeds)
+
+
+def test_sweep_cache(harness):
+    run_suite(harness)

@@ -17,7 +17,11 @@ Commands:
   regression (the CI perf gate);
 * ``lint`` — determinism & sim-safety static analysis over the
   source tree; exits 1 on findings or stale suppressions (the CI
-  lint gate).
+  lint gate);
+* ``sweep`` — shard a figure sweep across machines: ``plan``
+  partitions runs by content digest, ``run`` executes one shard into
+  a result store, ``merge`` unions shard stores into the final
+  figure (byte-identical to a single-machine run).
 """
 
 from __future__ import annotations
@@ -223,6 +227,33 @@ def build_parser() -> argparse.ArgumentParser:
             "ODEs (10^5+ peers); see docs/SCALING.md"
         ),
     )
+    reproduce.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache per-run results in a content-addressed store "
+            "(default directory: $REPRO_STORE or .repro-store); "
+            "re-running an unchanged sweep recomputes nothing, and "
+            "completed runs are committed as they finish, so an "
+            "interrupted sweep resumes from the store"
+        ),
+    )
+    reproduce.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result store even if --cache/--resume is given",
+    )
+    reproduce.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from the result store "
+            "(implies --cache; prints how many runs were restored)"
+        ),
+    )
 
     rspec = sub.add_parser("rspec", help="print the slice RSpec XML")
     rspec.add_argument("--peers", type=int, default=19)
@@ -380,6 +411,98 @@ def build_parser() -> argparse.ArgumentParser:
             "metrics.<name>; default: best_s and events_per_sec"
         ),
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help=(
+            "shard a figure sweep across machines: plan partitions "
+            "runs by content digest, run executes one shard into a "
+            "result store, merge unions shard stores into the final "
+            "figure"
+        ),
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    plan = sweep_sub.add_parser(
+        "plan", help="expand a figure sweep and partition it into shards"
+    )
+    plan.add_argument(
+        "--figure", choices=("2", "3", "4", "5"), required=True
+    )
+    plan.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale (9 peers, 1 seed, 2 bandwidths)",
+    )
+    plan.add_argument(
+        "--fidelity",
+        choices=("exact", "cohort", "fluid"),
+        default="exact",
+    )
+    plan.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="partition the runs into K digest-addressed shards",
+    )
+    plan.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="plan path (default: sweep-fig<N>.plan.json)",
+    )
+
+    shard_run = sweep_sub.add_parser(
+        "run", help="execute one shard of a plan into a result store"
+    )
+    shard_run.add_argument("plan", help="plan written by 'sweep plan'")
+    shard_run.add_argument(
+        "--shard", type=int, required=True, metavar="I"
+    )
+    shard_run.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result-store directory the shard commits into",
+    )
+    shard_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N"
+    )
+    shard_run.add_argument(
+        "--progress",
+        nargs="?",
+        const="live",
+        choices=("live", "plain"),
+        default=None,
+    )
+
+    merge = sweep_sub.add_parser(
+        "merge",
+        help=(
+            "union shard stores and produce the final figure "
+            "(byte-identical to a single-machine run; missing "
+            "entries are computed, so merge doubles as resume)"
+        ),
+    )
+    merge.add_argument("plan", help="plan written by 'sweep plan'")
+    merge.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="target store (absorbs every --from store)",
+    )
+    merge.add_argument(
+        "--from",
+        dest="sources",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="shard store to absorb (repeatable)",
+    )
+    merge.add_argument(
+        "--jobs", type=int, default=None, metavar="N"
+    )
+    merge.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the figure table here",
+    )
     return parser
 
 
@@ -408,6 +531,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     # repro: lint-ok[E1] unreachable parser-dispatch guard
     raise AssertionError(f"unhandled command {args.command!r}")
 
@@ -481,7 +606,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     progress = (
         SweepProgress(mode=args.progress) if args.progress else None
     )
-    executor = SweepExecutor(jobs=args.jobs, progress=progress)
+    store = None
+    if not args.no_cache and (args.cache is not None or args.resume):
+        from .parallel import ResultStore, default_store_root
+
+        root = Path(args.cache) if args.cache else default_store_root()
+        store = ResultStore(root)
+    executor = SweepExecutor(
+        jobs=args.jobs, progress=progress, store=store
+    )
     if args.trace is not None:
         # Fail on an unwritable path now, not after the whole sweep.
         try:
@@ -520,15 +653,25 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
+    if store is not None:
+        stats = executor.stats
+        verb = "resumed" if args.resume else "cached"
+        print(
+            f"result store {store.root}: {stats.runs_cached} of "
+            f"{stats.runs} runs {verb}, "
+            f"{stats.runs - stats.runs_cached - stats.failures} "
+            f"computed ({len(store)} entries on disk)",
+            file=sys.stderr,
+        )
     if args.trace is not None:
         _write_representative_trace(args, config)
     if args.manifest is not None:
-        return _write_run_manifest(args, executor)
+        return _write_run_manifest(args, executor, store)
     return 0
 
 
 def _write_run_manifest(
-    args: argparse.Namespace, executor
+    args: argparse.Namespace, executor, store=None
 ) -> int:
     """Record one ``reproduce`` invocation as a JSON manifest."""
     from .obs import dump_json, run_manifest
@@ -540,7 +683,24 @@ def _write_run_manifest(
         command += f" --figure {args.figure}"
     if getattr(args, "fidelity", "exact") != "exact":
         command += f" --fidelity {args.fidelity}"
+    if args.resume:
+        command += " --resume"
+    elif store is not None:
+        command += " --cache"
     stats = executor.stats
+    if store is not None:
+        cache = {
+            "enabled": True,
+            "root": str(store.root),
+            "schema": store.schema,
+            "hits": store.stats.hits,
+            "misses": store.stats.misses,
+            "stores": store.stats.stores,
+            "invalidations": store.stats.invalidations,
+            "runs_cached": stats.runs_cached,
+        }
+    else:
+        cache = {"enabled": False}
     payload = run_manifest(
         command,
         quick=args.quick,
@@ -549,9 +709,11 @@ def _write_run_manifest(
         sweep={
             "runs": stats.runs,
             "failures": stats.failures,
+            "runs_cached": stats.runs_cached,
             "events_fired": stats.events_fired,
             "sim_seconds": stats.sim_seconds,
         },
+        cache=cache,
     )
     try:
         dump_json(payload, args.manifest)
@@ -818,6 +980,105 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
         )
     return 0 if result.clean else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """The ``repro sweep plan|run|merge`` sharded-sweep protocol.
+
+    Exit codes follow the repo convention: 0 on success, 1 when any
+    of a shard's runs failed, 2 on a malformed/stale plan or store.
+    """
+    from .errors import StoreError, SweepError
+    from .experiments import sweep_service
+    from .parallel import ResultStore, SweepProgress
+
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.sweep_command == "plan":
+            plan = sweep_service.build_plan(
+                args.figure,
+                quick=args.quick,
+                fidelity=args.fidelity,
+                shards=args.shards,
+            )
+            target = (
+                args.output
+                or f"sweep-fig{args.figure}.plan.json"
+            )
+            sweep_service.dump_plan(plan, target)
+            per_shard = ", ".join(
+                str(sum(1 for run in plan["runs"]
+                        if run["shard"] == shard))
+                for shard in range(plan["shards"])
+            )
+            print(
+                f"sweep plan -> {target}: figure {args.figure}, "
+                f"{plan['total_runs']} runs over {plan['shards']} "
+                f"shard(s) [{per_shard}]"
+            )
+            return 0
+        plan = sweep_service.load_plan(args.plan)
+        progress = (
+            SweepProgress(mode=args.progress)
+            if getattr(args, "progress", None)
+            else None
+        )
+        if args.sweep_command == "run":
+            report = sweep_service.run_shard(
+                plan,
+                args.shard,
+                ResultStore(args.store),
+                jobs=jobs,
+                progress=progress,
+            )
+            print(
+                f"shard {report.shard}/{report.shards}: "
+                f"{report.runs} runs, {report.computed} computed, "
+                f"{report.cached} already in {args.store}"
+            )
+            return 0
+        if args.sweep_command == "merge":
+            report = sweep_service.merge_plan(
+                plan,
+                ResultStore(args.store),
+                sources=args.sources,
+                jobs=jobs,
+                progress=progress,
+            )
+            text = format_figure(
+                report.result, precision=report.precision
+            )
+            print(text)
+            if args.output:
+                with open(
+                    args.output, "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(text)
+            print(
+                f"merged {len(args.sources)} shard store(s) "
+                f"({report.absorbed} entries absorbed) into "
+                f"{args.store}: {report.cached} of {report.runs} "
+                f"runs cached, {report.computed} computed",
+                file=sys.stderr,
+            )
+            return 0
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # repro: lint-ok[E1] unreachable parser-dispatch guard
+    raise AssertionError(
+        f"unhandled sweep command {args.sweep_command!r}"
+    )
 
 
 def _cmd_rspec(args: argparse.Namespace) -> int:

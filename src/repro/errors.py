@@ -84,6 +84,16 @@ class SweepError(ExperimentError):
     """
 
 
+class StoreError(ExperimentError):
+    """The content-addressed result store was misused or a sweep plan
+    is malformed or stale.
+
+    Covers caching a failed outcome, unreadable/invalid
+    ``repro.sweep/1`` plan documents, and plan/code digest drift
+    (a shard plan built by a different code version).
+    """
+
+
 class TraceError(ReproError):
     """A trace, metric, or exporter was configured or parsed incorrectly."""
 

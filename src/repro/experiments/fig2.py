@@ -33,6 +33,30 @@ def splicers() -> list[Splicer]:
     return [spec.build() for spec in splicer_specs()]
 
 
+def cells(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> list:
+    """The figure's sweep cells (technique-major, bandwidth-minor).
+
+    Shared by :func:`run` and the sweep planner (``repro sweep``), so
+    a sharded sweep covers exactly the cells a direct run computes.
+    """
+    cfg = config or ExperimentConfig()
+    return [
+        cell_for(
+            spec,
+            bw,
+            cfg,
+            video=video,
+            label=f"fig2/{spec.technique} @ {bw} kB/s",
+        )
+        for spec in splicer_specs()
+        for bw in bandwidths_kb
+    ]
+
+
 def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
@@ -59,18 +83,10 @@ def run(
     cfg = config or ExperimentConfig()
     sweep = executor or SweepExecutor(jobs=1)
     specs = splicer_specs()
-    cells = [
-        cell_for(
-            spec,
-            bw,
-            cfg,
-            video=video,
-            label=f"fig2/{spec.technique} @ {bw} kB/s",
-        )
-        for spec in specs
-        for bw in bandwidths_kb
-    ]
-    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
+    sweep_cells = cells(cfg, video=video, bandwidths_kb=bandwidths_kb)
+    results = iter(
+        sweep.run_cells(sweep_cells, obs=obs, analyze=analyze)
+    )
     series = {
         spec.technique: [next(results) for _ in bandwidths_kb]
         for spec in specs

@@ -16,6 +16,26 @@ from .fig2 import splicer_specs
 from .runner import FigureResult
 
 
+def cells(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> list:
+    """The figure's sweep cells (same grid as Fig. 2, fig3 labels)."""
+    cfg = config or ExperimentConfig()
+    return [
+        cell_for(
+            spec,
+            bw,
+            cfg,
+            video=video,
+            label=f"fig3/{spec.technique} @ {bw} kB/s",
+        )
+        for spec in splicer_specs()
+        for bw in bandwidths_kb
+    ]
+
+
 def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
@@ -28,18 +48,10 @@ def run(
     cfg = config or ExperimentConfig()
     sweep = executor or SweepExecutor(jobs=1)
     specs = splicer_specs()
-    cells = [
-        cell_for(
-            spec,
-            bw,
-            cfg,
-            video=video,
-            label=f"fig3/{spec.technique} @ {bw} kB/s",
-        )
-        for spec in specs
-        for bw in bandwidths_kb
-    ]
-    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
+    sweep_cells = cells(cfg, video=video, bandwidths_kb=bandwidths_kb)
+    results = iter(
+        sweep.run_cells(sweep_cells, obs=obs, analyze=analyze)
+    )
     series = {
         spec.technique: [next(results) for _ in bandwidths_kb]
         for spec in specs

@@ -18,6 +18,34 @@ from .config import FIG4_BANDWIDTHS_KB, PAPER_DURATIONS, ExperimentConfig
 from .runner import FigureResult
 
 
+def _labels() -> dict[float, str]:
+    return {
+        duration: f"{int(duration)} sec segment"
+        for duration in PAPER_DURATIONS
+    }
+
+
+def cells(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = FIG4_BANDWIDTHS_KB,
+) -> list:
+    """The figure's sweep cells (duration-major, bandwidth-minor)."""
+    cfg = config or ExperimentConfig()
+    labels = _labels()
+    return [
+        cell_for(
+            SplicerSpec("duration", duration),
+            bw,
+            cfg,
+            video=video,
+            label=f"fig4/{labels[duration]} @ {bw} kB/s",
+        )
+        for duration in PAPER_DURATIONS
+        for bw in bandwidths_kb
+    ]
+
+
 def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
@@ -29,22 +57,11 @@ def run(
     """Reproduce Figure 4 (see module docstring)."""
     cfg = config or ExperimentConfig()
     sweep = executor or SweepExecutor(jobs=1)
-    labels = {
-        duration: f"{int(duration)} sec segment"
-        for duration in PAPER_DURATIONS
-    }
-    cells = [
-        cell_for(
-            SplicerSpec("duration", duration),
-            bw,
-            cfg,
-            video=video,
-            label=f"fig4/{labels[duration]} @ {bw} kB/s",
-        )
-        for duration in PAPER_DURATIONS
-        for bw in bandwidths_kb
-    ]
-    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
+    labels = _labels()
+    sweep_cells = cells(cfg, video=video, bandwidths_kb=bandwidths_kb)
+    results = iter(
+        sweep.run_cells(sweep_cells, obs=obs, analyze=analyze)
+    )
     series = {
         labels[duration]: [next(results) for _ in bandwidths_kb]
         for duration in PAPER_DURATIONS

@@ -34,6 +34,36 @@ def policies() -> list[DownloadPolicy]:
     ]
 
 
+_LABELS = {
+    "adaptive": "Adaptive pooling",
+    "fixed-2": "Pool size: 2",
+    "fixed-4": "Pool size: 4",
+    "fixed-8": "Pool size: 8",
+}
+
+
+def cells(
+    config: ExperimentConfig | None = None,
+    video: Bitstream | None = None,
+    bandwidths_kb: tuple[int, ...] = PAPER_BANDWIDTHS_KB,
+) -> list:
+    """The figure's sweep cells (policy-major, bandwidth-minor)."""
+    cfg = config or ExperimentConfig()
+    splicer = SplicerSpec("duration", FIG5_SEGMENT_DURATION)
+    return [
+        cell_for(
+            splicer,
+            bw,
+            cfg,
+            policy=policy,
+            video=video,
+            label=f"fig5/{_LABELS[policy.name]} @ {bw} kB/s",
+        )
+        for policy in policies()
+        for bw in bandwidths_kb
+    ]
+
+
 def run(
     config: ExperimentConfig | None = None,
     video: Bitstream | None = None,
@@ -45,27 +75,12 @@ def run(
     """Reproduce Figure 5 (see module docstring)."""
     cfg = config or ExperimentConfig()
     sweep = executor or SweepExecutor(jobs=1)
-    splicer = SplicerSpec("duration", FIG5_SEGMENT_DURATION)
-    labels = {
-        "adaptive": "Adaptive pooling",
-        "fixed-2": "Pool size: 2",
-        "fixed-4": "Pool size: 4",
-        "fixed-8": "Pool size: 8",
-    }
+    labels = _LABELS
     pool_policies = policies()
-    cells = [
-        cell_for(
-            splicer,
-            bw,
-            cfg,
-            policy=policy,
-            video=video,
-            label=f"fig5/{labels[policy.name]} @ {bw} kB/s",
-        )
-        for policy in pool_policies
-        for bw in bandwidths_kb
-    ]
-    results = iter(sweep.run_cells(cells, obs=obs, analyze=analyze))
+    sweep_cells = cells(cfg, video=video, bandwidths_kb=bandwidths_kb)
+    results = iter(
+        sweep.run_cells(sweep_cells, obs=obs, analyze=analyze)
+    )
     series = {
         labels[policy.name]: [next(results) for _ in bandwidths_kb]
         for policy in pool_policies

@@ -41,6 +41,8 @@ class ReproductionReport:
         elapsed: wall-clock seconds the run took.
         events_fired: simulator callbacks executed across every run.
         jobs: worker processes the sweep used.
+        runs_cached: runs served from the result store instead of
+            being simulated (``--cache``/``--resume``).
     """
 
     figures: tuple[FigureResult, ...]
@@ -48,6 +50,7 @@ class ReproductionReport:
     elapsed: float
     events_fired: int = 0
     jobs: int = 1
+    runs_cached: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -66,6 +69,8 @@ class ReproductionReport:
                 f"{self.events_fired} simulated events, "
                 f"{self.events_per_sec:.0f} events/s"
             )
+        if self.runs_cached:
+            header += f"; {self.runs_cached} runs from cache"
         header += ")"
         parts = [
             "# Reproduction report",
@@ -118,6 +123,7 @@ def reproduce_all(
     # repro: lint-ok[D1] wall elapsed for the report header
     started = time.monotonic()
     events_before = sweep.stats.events_fired
+    cached_before = sweep.stats.runs_cached
 
     figures: list[FigureResult] = [
         fig2.run(cfg, video=video, executor=sweep),
@@ -154,4 +160,5 @@ def reproduce_all(
         elapsed=time.monotonic() - started,
         events_fired=sweep.stats.events_fired - events_before,
         jobs=sweep.jobs,
+        runs_cached=sweep.stats.runs_cached - cached_before,
     )

@@ -7,7 +7,14 @@ bit-identical to the serial path.  See ``docs/PERFORMANCE.md`` for the
 design and determinism guarantees.
 """
 
-from .cache import cached_splice, cached_video, clear_caches, splice_for
+from .cache import (
+    cached_splice,
+    cached_video,
+    clear_caches,
+    memo_counts,
+    publish_memo_delta,
+    splice_for,
+)
 from .digest import canonical_data, content_digest, spec_digest
 from .executor import (
     JOBS_ENV_VAR,
@@ -32,18 +39,32 @@ from .spec import (
     VideoSpec,
     cell_for,
 )
+from .store import (
+    DEFAULT_STORE_DIR,
+    STORE_ENV_VAR,
+    STORE_SCHEMA,
+    ResultStore,
+    StoreStats,
+    default_store_root,
+    run_identity,
+)
 from .worker import RunOutcome, execute_run, pool_entry
 
 __all__ = [
     "CellSpec",
+    "DEFAULT_STORE_DIR",
     "JOBS_ENV_VAR",
     "MetricsSnapshot",
     "NULL_PROGRESS",
     "ProfileSnapshot",
+    "ResultStore",
     "RunOutcome",
     "RunSpec",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
     "SplicerSpec",
     "SquareWave",
+    "StoreStats",
     "SweepExecutor",
     "SweepProgress",
     "SweepStats",
@@ -55,10 +76,14 @@ __all__ = [
     "clear_caches",
     "content_digest",
     "default_jobs",
+    "default_store_root",
     "execute_run",
+    "memo_counts",
     "merge_profile",
     "merge_snapshot",
     "pool_entry",
+    "publish_memo_delta",
+    "run_identity",
     "snapshot_profile",
     "snapshot_registry",
     "spec_digest",

@@ -54,6 +54,49 @@ def splice_for(cell: CellSpec) -> SpliceResult:
     return cached_splice(cell.video_spec, cell.splicer)
 
 
+def memo_counts() -> tuple[int, int, int, int]:
+    """Current (video hits, video misses, splice hits, splice misses).
+
+    Process-wide ``lru_cache`` totals; callers snapshot before and
+    after a derivation and publish the delta (see
+    :func:`publish_memo_delta`), so per-run registries — including the
+    fresh ones pool workers reduce back — see only their own traffic.
+    """
+    video = cached_video.cache_info()
+    spliced = cached_splice.cache_info()
+    explicit = _splice_explicit.cache_info()
+    return (
+        video.hits,
+        video.misses,
+        spliced.hits + explicit.hits,
+        spliced.misses + explicit.misses,
+    )
+
+
+#: Counter names under which the memo caches surface in a registry.
+MEMO_COUNTERS = (
+    "parallel.cache.video.hits",
+    "parallel.cache.video.misses",
+    "parallel.cache.splice.hits",
+    "parallel.cache.splice.misses",
+)
+
+
+def publish_memo_delta(
+    registry, before: tuple[int, int, int, int]
+) -> None:
+    """Record memo-cache traffic since ``before`` as obs counters.
+
+    The counters share the ``parallel.cache.*`` naming scheme with the
+    persistent result store's ``parallel.cache.store.*`` family (see
+    :mod:`repro.parallel.store`).
+    """
+    after = memo_counts()
+    for name, start, end in zip(MEMO_COUNTERS, before, after):
+        if end > start:
+            registry.counter(name).inc(end - start)
+
+
 def clear_caches() -> None:
     """Drop every memoized video and splice (tests, memory pressure)."""
     cached_video.cache_clear()

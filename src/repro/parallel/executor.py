@@ -34,6 +34,7 @@ from ..obs.context import Observability
 from .progress import NULL_PROGRESS, SweepProgress
 from .snapshot import merge_profile, merge_snapshot
 from .spec import CellSpec, RunSpec
+from .store import ResultStore
 from .worker import RunOutcome, execute_run, pool_entry
 
 #: Environment variable overriding the auto-detected worker count.
@@ -69,15 +70,27 @@ def default_jobs() -> int:
 class SweepStats:
     """Cumulative totals across everything an executor has run.
 
+    ``events_fired``/``sim_seconds`` count work *this* executor
+    actually performed: runs served from the result store contribute
+    to ``runs``/``runs_cached`` but fired no events now, so a fully
+    warm sweep reports zero events.
+
     Attributes:
-        runs: swarm runs completed or failed.
+        runs: swarm runs completed, failed, or served from the store.
         failures: runs that failed.
+        runs_cached: runs served from the result store.
+        cells_cached: cells whose every seed run was a store hit
+            (maintained by :meth:`SweepExecutor.run_cells`).
+        cells_computed: cells where at least one run was computed.
         events_fired: simulator callbacks executed across all runs.
         sim_seconds: simulated seconds covered across all runs.
     """
 
     runs: int = 0
     failures: int = 0
+    runs_cached: int = 0
+    cells_cached: int = 0
+    cells_computed: int = 0
     events_fired: int = 0
     sim_seconds: float = 0.0
 
@@ -97,6 +110,12 @@ class SweepExecutor:
             finished run in completion order.  Display only: it never
             influences results, and it silences itself when its stream
             is not a TTY.
+        store: optional persistent result store.  Runs whose content
+            digest is already committed are served from disk (and
+            reported with ``cached=True``); fresh successful runs are
+            committed as they finish, making interrupted sweeps
+            resumable.  Ignored for traced or profiled sweeps, which
+            must execute live (see :mod:`repro.parallel.store`).
     """
 
     def __init__(
@@ -104,6 +123,7 @@ class SweepExecutor:
         jobs: int | None = None,
         timeout: float | None = None,
         progress: SweepProgress | None = None,
+        store: ResultStore | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1: {jobs}")
@@ -114,6 +134,7 @@ class SweepExecutor:
         self.jobs = jobs if jobs is not None else default_jobs()
         self.timeout = timeout
         self.progress = progress if progress is not None else NULL_PROGRESS
+        self.store = store
         self._stats = SweepStats()
 
     @property
@@ -137,6 +158,15 @@ class SweepExecutor:
         is given, reduces each worker's metrics snapshot into
         ``obs.registry`` in deterministic order.
 
+        When a :class:`~repro.parallel.store.ResultStore` is attached,
+        each spec is first looked up by content digest: hits skip
+        execution entirely (their stored outcome, with its metrics
+        snapshot when the sweep is observed, joins the deterministic
+        merge), and fresh successful runs are committed to the store
+        as they finish.  Traced and profiled sweeps bypass the store —
+        a trace must be recorded live and a profile measures this
+        machine executing.
+
         Args:
             analyze: trace every run into a private ring buffer and
                 attach a :class:`~repro.obs.analyze.RunAnalysis` to
@@ -145,47 +175,137 @@ class SweepExecutor:
                 are identical at any worker count.
         """
         specs = list(specs)
-        in_process = self.jobs == 1 or (
-            obs is not None and obs.tracing_enabled
+        tracing = obs is not None and obs.tracing_enabled
+        profiling = obs is not None and obs.profile is not None
+        store = (
+            self.store
+            if self.store is not None and not tracing and not profiling
+            else None
         )
+        in_process = self.jobs == 1 or tracing
         progress = self.progress
         progress.begin(specs)
         try:
-            if in_process:
-                outcomes = []
-                for spec in specs:
-                    spec = replace(spec, collect_metrics=False)
-                    if analyze:
-                        outcome = self._run_analyzed(spec, obs)
-                    else:
-                        outcome = execute_run(spec, obs)
-                    progress.update(outcome)
-                    outcomes.append(outcome)
+            cached: list[RunOutcome] = []
+            pending: list[RunSpec] = []
+            invalid_before = (
+                store.stats.invalidations if store is not None else 0
+            )
+            if store is None:
+                pending = specs
             else:
-                outcomes = self._map_pool(
-                    specs,
+                for spec in specs:
+                    hit = store.get(
+                        spec,
+                        need_metrics=obs is not None,
+                        need_analysis=analyze,
+                    )
+                    if hit is None:
+                        pending.append(spec)
+                    else:
+                        cached.append(hit)
+                        progress.update(hit)
+            if in_process:
+                fresh = self._map_in_process(
+                    pending, obs, analyze=analyze, store=store
+                )
+            else:
+                fresh = self._map_pool(
+                    pending,
                     collect=obs is not None,
                     analyze=analyze,
-                    profile=(
-                        obs is not None and obs.profile is not None
-                    ),
+                    profile=profiling,
+                    store=store,
                 )
-                outcomes.sort(
-                    key=lambda o: (o.cell_index, o.seed_index)
-                )
-                if obs is not None:
-                    for outcome in outcomes:
-                        if outcome.metrics is not None:
-                            merge_snapshot(obs.registry, outcome.metrics)
-                        if (
-                            outcome.profile is not None
-                            and obs.profile is not None
-                        ):
-                            merge_profile(obs.profile, outcome.profile)
+            outcomes = cached + fresh
+            outcomes.sort(key=lambda o: (o.cell_index, o.seed_index))
+            if obs is not None:
+                for outcome in outcomes:
+                    if outcome.metrics is not None:
+                        merge_snapshot(obs.registry, outcome.metrics)
+                    if (
+                        outcome.profile is not None
+                        and obs.profile is not None
+                    ):
+                        merge_profile(obs.profile, outcome.profile)
         finally:
             progress.finish()
+        if store is not None and obs is not None:
+            self._publish_store_counters(
+                obs,
+                outcomes,
+                store.stats.invalidations - invalid_before,
+            )
         self._account(outcomes)
         return outcomes
+
+    def _map_in_process(
+        self,
+        specs: list[RunSpec],
+        obs: Observability | None,
+        analyze: bool,
+        store: ResultStore | None,
+    ) -> list[RunOutcome]:
+        """The sequential path, with or without store commits.
+
+        Without a store this is byte-for-byte the old serial loop:
+        runs record straight into ``obs`` and exceptions propagate.
+        With a store, runs adopt the pool's semantics instead —
+        private registry reduced via snapshots, failures folded into
+        outcomes — because a committed entry must be self-contained
+        (usable by a later pooled sweep) and a crash mid-sweep must
+        leave every finished run safely on disk.
+        """
+        outcomes: list[RunOutcome] = []
+        for spec in specs:
+            if store is not None:
+                outcome = pool_entry(
+                    replace(
+                        spec,
+                        collect_metrics=obs is not None,
+                        collect_analysis=analyze,
+                    )
+                )
+                if outcome.ok:
+                    store.put(spec, outcome)
+            else:
+                spec = replace(spec, collect_metrics=False)
+                if analyze:
+                    outcome = self._run_analyzed(spec, obs)
+                else:
+                    outcome = execute_run(spec, obs)
+            self.progress.update(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    @staticmethod
+    def _publish_store_counters(
+        obs: Observability,
+        outcomes: list[RunOutcome],
+        invalidations: int,
+    ) -> None:
+        """Surface store traffic as ``parallel.cache.store.*``.
+
+        Hits/misses/stores are counted from the sweep's own outcomes,
+        so the numbers reflect this sweep regardless of how much other
+        traffic the store object saw; invalidations (entries found but
+        rejected — schema drift, corruption) come from the store's
+        delta over the sweep.
+        """
+        hits = sum(1 for o in outcomes if o.cached)
+        misses = len(outcomes) - hits
+        registry = obs.registry
+        if hits:
+            registry.counter("parallel.cache.store.hits").inc(hits)
+        if misses:
+            registry.counter("parallel.cache.store.misses").inc(misses)
+        stored = sum(1 for o in outcomes if o.ok and not o.cached)
+        if stored:
+            registry.counter("parallel.cache.store.stores").inc(stored)
+        if invalidations:
+            registry.counter(
+                "parallel.cache.store.invalidations"
+            ).inc(invalidations)
 
     @staticmethod
     def _run_analyzed(
@@ -219,7 +339,10 @@ class SweepExecutor:
         collect: bool,
         analyze: bool = False,
         profile: bool = False,
+        store: ResultStore | None = None,
     ) -> list[RunOutcome]:
+        if not specs:
+            return []
         workers = max(1, min(self.jobs, len(specs)))
         pool = ProcessPoolExecutor(max_workers=workers)
         timed_out = False
@@ -246,10 +369,14 @@ class SweepExecutor:
                     futures, timeout=self.timeout
                 ):
                     yielded.add(future)
-                    outcomes.append(
-                        self._settle(future, futures[future])
-                    )
-                    self.progress.update(outcomes[-1])
+                    outcome = self._settle(future, futures[future])
+                    if store is not None and outcome.ok:
+                        # Commit as workers finish, not at sweep end:
+                        # this is what makes an interrupted sweep
+                        # resumable from the store.
+                        store.put(futures[future], outcome)
+                    outcomes.append(outcome)
+                    self.progress.update(outcome)
             except FuturesTimeout:
                 timed_out = True
                 for future, spec in futures.items():
@@ -292,18 +419,25 @@ class SweepExecutor:
         stats = self._stats
         runs = stats.runs
         failures = stats.failures
+        runs_cached = stats.runs_cached
         events = stats.events_fired
         sim_seconds = stats.sim_seconds
         for outcome in outcomes:
             runs += 1
-            if outcome.ok:
+            if not outcome.ok:
+                failures += 1
+            elif outcome.cached:
+                # A store hit performed no simulation now; its events
+                # belong to the run that originally computed it.
+                runs_cached += 1
+            else:
                 events += outcome.stats.events_fired
                 sim_seconds += outcome.stats.end_time
-            else:
-                failures += 1
-        self._stats = SweepStats(
+        self._stats = replace(
+            stats,
             runs=runs,
             failures=failures,
+            runs_cached=runs_cached,
             events_fired=events,
             sim_seconds=sim_seconds,
         )
@@ -355,10 +489,16 @@ class SweepExecutor:
             )
         results: list[CellResult] = []
         position = 0
+        cells_cached = 0
+        cells_computed = 0
         for cell in cells:
             count = len(cell.config.seeds)
             group = outcomes[position : position + count]
             position += count
+            if all(o.cached for o in group):
+                cells_cached += 1
+            else:
+                cells_computed += 1
             analyses = [
                 o.analysis for o in group if o.analysis is not None
             ]
@@ -369,4 +509,9 @@ class SweepExecutor:
                     analyses=analyses if analyze else None,
                 )
             )
+        self._stats = replace(
+            self._stats,
+            cells_cached=self._stats.cells_cached + cells_cached,
+            cells_computed=self._stats.cells_computed + cells_computed,
+        )
         return results

@@ -90,9 +90,11 @@ class SweepProgress:
         self._total: dict[int, int] = {}
         self._done: dict[int, int] = {}
         self._failed: dict[int, int] = {}
+        self._cached: dict[int, int] = {}
         self._stalls: dict[int, float] = {}
         self._labels: dict[int, str] = {}
         self._runs_done = 0
+        self._runs_cached = 0
         self._runs_total = 0
         self._last_emit: float | None = None
 
@@ -139,10 +141,15 @@ class SweepProgress:
         self._done[index] = self._done.get(index, 0) + 1
         if not outcome.ok:
             self._failed[index] = self._failed.get(index, 0) + 1
-        elif outcome.stats is not None:
-            self._stalls[index] = (
-                self._stalls.get(index, 0.0) + outcome.stats.stall_count
-            )
+        else:
+            if outcome.cached:
+                self._runs_cached += 1
+                self._cached[index] = self._cached.get(index, 0) + 1
+            if outcome.stats is not None:
+                self._stalls[index] = (
+                    self._stalls.get(index, 0.0)
+                    + outcome.stats.stall_count
+                )
         label = self._labels.get(index) or outcome.label
         if self.mode == "plain":
             self._ingest_plain(outcome, index, label)
@@ -150,9 +157,10 @@ class SweepProgress:
         if outcome.ok:
             done = self._done[index]
             mean_stalls = self._stalls.get(index, 0.0) / max(1, done)
+            suffix = " (cached)" if outcome.cached else ""
             last = (
                 f"{label} seed {outcome.seed}: "
-                f"{mean_stalls:.1f} stalls/peer"
+                f"{mean_stalls:.1f} stalls/peer{suffix}"
             )
         else:
             last = f"{label} seed {outcome.seed}: FAILED"
@@ -186,8 +194,15 @@ class SweepProgress:
         ):
             return
         mean_stalls = self._stalls.get(index, 0.0) / max(1, total)
+        # A fully-cached cell was served from the store, not computed;
+        # say so instead of presenting it as fresh work.
+        how = (
+            "cached"
+            if self._cached.get(index, 0) >= total
+            else "done"
+        )
         self._emit_line(
-            f"sweep: {label} done"
+            f"sweep: {label} {how}"
             f" ({mean_stalls:.1f} stalls/peer; {self._summary()})"
         )
 
@@ -198,9 +213,14 @@ class SweepProgress:
             if self._done.get(index, 0) >= total
         )
         failed = sum(1 for index in self._failed if self._failed[index])
+        cached = (
+            f" {self._runs_cached} cached,"
+            if self._runs_cached
+            else ""
+        )
         return (
             f"{completed}/{len(self._total)} cells done,"
-            f" {failed} failed,"
+            f" {failed} failed,{cached}"
             f" {self._runs_done}/{self._runs_total} runs"
         )
 
@@ -221,9 +241,12 @@ class SweepProgress:
             if 0 < self._done.get(index, 0) < total
         )
         failed = sum(1 for index in self._failed if self._failed[index])
+        cached = (
+            f", {self._runs_cached} cached" if self._runs_cached else ""
+        )
         line = (
             f"sweep: {completed}/{len(self._total)} cells done"
-            f" ({running} running, {failed} failed;"
+            f" ({running} running, {failed} failed{cached};"
             f" {self._runs_done}/{self._runs_total} runs) | {last}"
         )
         pad = max(0, self._width - len(line))

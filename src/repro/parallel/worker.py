@@ -25,7 +25,7 @@ from ..obs.context import Observability
 from ..obs.profile import EngineProfile
 from ..p2p.swarm import Swarm, build_swarm
 from ..units import kB_per_s
-from .cache import splice_for
+from .cache import memo_counts, publish_memo_delta, splice_for
 from .snapshot import (
     MetricsSnapshot,
     ProfileSnapshot,
@@ -54,6 +54,10 @@ class RunOutcome:
             executed, so it is identical at any worker count.
         profile: per-category engine wall time measured where the run
             executed (profiling pool runs only).
+        cached: the outcome was served from a
+            :class:`~repro.parallel.store.ResultStore` instead of
+            being computed this sweep; ``wall_seconds`` then reports
+            what the *original* execution cost.
     """
 
     cell_index: int
@@ -66,6 +70,7 @@ class RunOutcome:
     metrics: MetricsSnapshot | None = None
     analysis: RunAnalysis | None = None
     profile: ProfileSnapshot | None = None
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -102,7 +107,11 @@ def execute_run(
             :func:`pool_entry`'s job.
     """
     cell = spec.cell
+    if obs is not None:
+        memo_before = memo_counts()
     splice = splice_for(cell)
+    if obs is not None:
+        publish_memo_delta(obs.registry, memo_before)
     swarm_config = make_swarm_config(
         cell.bandwidth_kb, spec.seed, cell.config, cell.policy
     )

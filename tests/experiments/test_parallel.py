@@ -140,7 +140,32 @@ class TestMetricsReduction:
             for name, counter
             in parallel_obs.registry.counters().items()
         }
-        assert serial_counters == parallel_counters
+        # The parallel.cache.* memo counters describe per-process
+        # cache locality — a pool of N workers legitimately misses up
+        # to N times where the serial path misses once — so they are
+        # compared as an invariant (one splice derivation per run on
+        # any path), not for equality.
+        def split(counters):
+            sim = {
+                name: value
+                for name, value in counters.items()
+                if not name.startswith("parallel.cache.")
+            }
+            memo = sum(
+                value
+                for name, value in counters.items()
+                if name
+                in (
+                    "parallel.cache.splice.hits",
+                    "parallel.cache.splice.misses",
+                )
+            )
+            return sim, memo
+
+        serial_sim, serial_memo = split(serial_counters)
+        parallel_sim, parallel_memo = split(parallel_counters)
+        assert serial_sim == parallel_sim
+        assert serial_memo == parallel_memo == 4  # one per run
 
         # Histogram weights are time-integrals: serial mode grows one
         # running sum, parallel merges per-run subtotals, and float

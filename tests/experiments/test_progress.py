@@ -54,6 +54,17 @@ def failed_outcome(cell_index, seed=7):
     )
 
 
+def cached_outcome(cell_index, seed=7, stalls=2.0):
+    return RunOutcome(
+        cell_index=cell_index,
+        seed_index=0,
+        seed=seed,
+        label=f"cell-{cell_index}",
+        stats=SimpleNamespace(stall_count=stalls),
+        cached=True,
+    )
+
+
 def plain_progress(min_interval=0.0, clock=None):
     stream = io.StringIO()
     progress = SweepProgress(
@@ -157,6 +168,47 @@ class TestPlainMode:
         progress.finish()
         assert (
             "sweep: 2/2 cells done, 1 failed, 2/2 runs"
+            in stream.getvalue()
+        )
+
+    def test_fully_cached_cell_reports_cached(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(cached_outcome(0, stalls=3.0))
+        progress.update(ok_outcome(1, stalls=1.0))
+        progress.finish()
+        text = stream.getvalue()
+        assert "cell-a cached (3.0 stalls/peer" in text
+        assert "cell-b done (1.0 stalls/peer" in text
+
+    def test_partially_cached_cell_reports_done(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(0, "cell-a")])
+        progress.update(cached_outcome(0, seed=7, stalls=4.0))
+        progress.update(ok_outcome(0, seed=11, stalls=2.0))
+        # One seed was computed: the cell was not served purely
+        # from the store.
+        assert "cell-a done (3.0 stalls/peer" in stream.getvalue()
+
+    def test_summary_counts_cached_runs(self):
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(cached_outcome(0))
+        progress.update(ok_outcome(1))
+        progress.finish()
+        assert (
+            "sweep: 2/2 cells done, 0 failed, 1 cached, 2/2 runs"
+            in stream.getvalue()
+        )
+
+    def test_summary_unchanged_without_cache(self):
+        # Cacheless sweeps keep the historical summary text.
+        progress, stream = plain_progress()
+        progress.begin([spec(0, "cell-a")])
+        progress.update(ok_outcome(0))
+        progress.finish()
+        assert (
+            "sweep: 1/1 cells done, 0 failed, 1/1 runs"
             in stream.getvalue()
         )
 

@@ -279,6 +279,85 @@ class TestManifestFlag:
         assert args.manifest == str(tmp_path / "m.json")
 
 
+class TestCacheFlags:
+    def test_bare_cache_selects_default_root(self):
+        args = build_parser().parse_args(["reproduce", "--cache"])
+        assert args.cache == ""  # sentinel: use default_store_root()
+
+    def test_cache_with_directory(self, tmp_path):
+        args = build_parser().parse_args(
+            ["reproduce", "--cache", str(tmp_path / "store")]
+        )
+        assert args.cache == str(tmp_path / "store")
+
+    def test_cache_off_by_default(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.cache is None
+        assert not args.resume
+        assert not args.no_cache
+
+    @pytest.mark.slow
+    def test_warm_rerun_is_pure_cache(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "store")
+        argv = [
+            "reproduce", "--quick", "--figure", "2",
+            "--cache", store,
+        ]
+        assert main(argv + ["--manifest",
+                            str(tmp_path / "m1.json")]) == 0
+        cold = capsys.readouterr()
+        assert main(argv + ["--manifest",
+                            str(tmp_path / "m2.json")]) == 0
+        warm = capsys.readouterr()
+        # The figure table is byte-identical; only the manifest
+        # pointer line differs between the two invocations.
+        def strip(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("run manifest ->")
+            ]
+        assert strip(warm.out) == strip(cold.out)
+        assert "0 of 8 runs cached" in cold.err
+        assert "8 of 8 runs cached" in warm.err
+        m1 = json.loads((tmp_path / "m1.json").read_text())
+        m2 = json.loads((tmp_path / "m2.json").read_text())
+        assert m1["cache"] == {
+            "enabled": True,
+            "root": store,
+            "schema": "repro.store/1",
+            "hits": 0,
+            "misses": 8,
+            "stores": 8,
+            "invalidations": 0,
+            "runs_cached": 0,
+        }
+        assert m2["cache"]["hits"] == 8
+        assert m2["cache"]["runs_cached"] == 8
+        assert m2["sweep"]["events_fired"] == 0
+
+    @pytest.mark.slow
+    def test_no_cache_wins(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main([
+            "reproduce", "--quick", "--figure", "2",
+            "--cache", str(store), "--no-cache",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "result store" not in captured.err
+        assert not store.exists()
+
+    @pytest.mark.slow
+    def test_resume_implies_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        assert main([
+            "reproduce", "--quick", "--figure", "2", "--resume",
+        ]) == 0
+        assert "runs resumed" in capsys.readouterr().err
+        assert (tmp_path / "store").is_dir()
+
+
 class TestTraceCommand:
     def test_missing_file_exits_2(self, capsys, tmp_path):
         code = main(["trace", str(tmp_path / "nope.jsonl")])
