@@ -11,15 +11,37 @@ rates are scale-independent facts, so a quick CI candidate gates its
 ``metrics.hit_rate`` against the committed full-scale artifact.  Do
 NOT cross-compare timing metrics between quick and full runs of this
 suite — CI passes ``--metric metrics.hit_rate`` explicitly.
+
+Run standalone with ``--quick --check`` to gate the overhead of the
+wall-clock ops telemetry (``repro.obs.ops``): the cold path is timed
+back-to-back with ops disabled and enabled on the same machine, and
+the suite fails if span/heartbeat emission slows the sweep by more
+than :data:`MAX_OPS_OVERHEAD`.  This is a same-run A/B, not an
+artifact comparison, so it is immune to cross-machine noise.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 import tempfile
 import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 from repro.experiments import fig2, fig3, fig4, fig5
 from repro.experiments.config import ExperimentConfig
+from repro.obs.ops import (
+    NULL_HEARTBEAT,
+    NULL_OPS,
+    OpsLog,
+    ShardHeartbeat,
+    heartbeat_path,
+    shard_ops_path,
+)
 from repro.parallel import ResultStore, SweepExecutor, default_jobs
 
 #: Reduced bandwidth axes for --quick (mirrors reproduce --quick).
@@ -27,6 +49,15 @@ _QUICK_BANDWIDTHS_KB = (128, 512)
 
 #: Minimum warm-over-cold speedup the full-scale suite must show.
 MIN_WARM_SPEEDUP = 10.0
+
+#: Maximum fractional cold-path slowdown ops telemetry may introduce.
+MAX_OPS_OVERHEAD = 0.02
+
+#: Best-of-N repeats per variant in the ops-overhead A/B.  High on
+#: purpose: the telemetry cost is well under the limit, but shared
+#: machines jitter individual sweeps by several percent, and only the
+#: per-variant minimum converges on the true floor.
+_OPS_CHECK_REPEATS = 8
 
 
 def _all_cells(config, quick):
@@ -134,5 +165,121 @@ def cold_runs(config, cells):
     return len(cells) * len(config.seeds)
 
 
+def _one_cold_sweep_s(cells, jobs, ops_enabled):
+    """One cold sweep's wall time, with or without ops telemetry.
+
+    A fresh store every call (cold = every run computed and
+    committed); the telemetry variant wires the full production path:
+    span log, cell-run spans, store-commit spans, heartbeat rewrites.
+    """
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        if ops_enabled:
+            ops = OpsLog(shard_ops_path(root, 0))
+            heartbeat = ShardHeartbeat(
+                heartbeat_path(root, 0), shard=0, shards=1
+            )
+            store.ops = ops
+        else:
+            ops, heartbeat = NULL_OPS, NULL_HEARTBEAT
+        executor = SweepExecutor(
+            jobs=jobs, store=store, ops=ops, heartbeat=heartbeat
+        )
+        start = time.perf_counter()
+        with ops.span("shard", shard=0):
+            executor.run_cells(cells)
+        elapsed = time.perf_counter() - start
+        ops.close()
+    return elapsed
+
+
+def check_ops_overhead(quick=True):
+    """Gate the ops-telemetry cost on the cold sweep path.
+
+    A/B on this machine: the plain cold sweep versus the same sweep
+    emitting spans, store-commit spans, and heartbeats.  The variants
+    are interleaved round by round (so machine drift hits both
+    equally) and each keeps its best-of-N, which rejects the
+    scheduler/pool-startup noise a small sweep is prone to.  Fails
+    when telemetry costs more than :data:`MAX_OPS_OVERHEAD` of cold
+    wall time.
+    """
+    config = ExperimentConfig(n_leechers=9, seeds=(7, 11))
+    if quick:
+        cells = fig2.cells(
+            config, bandwidths_kb=_QUICK_BANDWIDTHS_KB
+        )
+    else:
+        cells = _all_cells(config, quick=False)
+    jobs = max(2, default_jobs())
+
+    # Unmeasured warmup: imports, page cache, pool spin-up.
+    _one_cold_sweep_s(cells, jobs, ops_enabled=False)
+
+    best = {False: None, True: None}
+    for rep in range(_OPS_CHECK_REPEATS):
+        # ABBA ordering: alternate which variant runs first so slow
+        # machine drift (thermal, background load) cancels instead
+        # of always taxing the same variant.
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        for enabled in order:
+            sample = _one_cold_sweep_s(cells, jobs, enabled)
+            prior = best[enabled]
+            best[enabled] = (
+                sample if prior is None else min(prior, sample)
+            )
+    plain_s, ops_s = best[False], best[True]
+    overhead = ops_s / plain_s - 1.0
+    status = "ok" if overhead <= MAX_OPS_OVERHEAD else "REGRESSION"
+    print(
+        f"check ops overhead ({len(cells)} cells, best of "
+        f"{_OPS_CHECK_REPEATS}): plain {plain_s:.2f} s, "
+        f"with telemetry {ops_s:.2f} s ({overhead:+.1%}, "
+        f"limit {MAX_OPS_OVERHEAD:.0%}) -> {status}"
+    )
+    if overhead > MAX_OPS_OVERHEAD:
+        raise SystemExit(
+            f"ops telemetry slows the cold sweep by {overhead:.1%} "
+            f"(limit {MAX_OPS_OVERHEAD:.0%})"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grid (fig2 cells, one seed); do not overwrite "
+        "the committed artifact",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="A/B the cold path with ops telemetry off vs on and "
+        f"fail on a >{MAX_OPS_OVERHEAD:.0%} slowdown",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        check_ops_overhead(quick=args.quick)
+        return
+
+    from repro.obs.bench import BenchHarness
+
+    results = Path(__file__).resolve().parent / "results"
+    harness = BenchHarness(
+        "sweep_cache", results_dir=results, quick=args.quick
+    )
+    run_suite(harness, quick=args.quick)
+    target = harness.write()
+    print(f"\nwrote {target}")
+
+
 def test_sweep_cache(harness):
     run_suite(harness)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,13 +21,18 @@ Commands:
 * ``sweep`` — shard a figure sweep across machines: ``plan``
   partitions runs by content digest, ``run`` executes one shard into
   a result store, ``merge`` unions shard stores into the final
-  figure (byte-identical to a single-machine run).
+  figure (byte-identical to a single-machine run), and ``status``
+  aggregates shard heartbeats into a live fleet view (progress bars,
+  straggler flagging, dead-shard detection);
+* ``ops`` — render a ``repro.ops/1`` wall-clock span log as an
+  indented tree with a critical-path summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -412,13 +417,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    ops_cmd = sub.add_parser(
+        "ops",
+        help=(
+            "render a repro.ops/1 wall-clock span log (written next "
+            "to a result store by 'sweep run'/'sweep merge') as an "
+            "indented tree plus a critical-path summary"
+        ),
+    )
+    ops_cmd.add_argument(
+        "path", help="ops JSONL log, e.g. STORE/repro.ops/*.ops.jsonl"
+    )
+    ops_cmd.add_argument(
+        "--depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="maximum tree depth to render (default 8)",
+    )
+
     sweep = sub.add_parser(
         "sweep",
         help=(
             "shard a figure sweep across machines: plan partitions "
             "runs by content digest, run executes one shard into a "
             "result store, merge unions shard stores into the final "
-            "figure"
+            "figure, status aggregates shard heartbeats into a "
+            "fleet view"
         ),
     )
     sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
@@ -452,6 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="plan path (default: sweep-fig<N>.plan.json)",
     )
+    plan.add_argument(
+        "--no-ops",
+        action="store_true",
+        help="skip the wall-clock ops log (<plan>.ops.jsonl)",
+    )
 
     shard_run = sweep_sub.add_parser(
         "run", help="execute one shard of a plan into a result store"
@@ -473,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
         const="live",
         choices=("live", "plain"),
         default=None,
+    )
+    shard_run.add_argument(
+        "--no-ops",
+        action="store_true",
+        help=(
+            "skip wall-clock telemetry (the span log and heartbeat "
+            "under STORE/repro.ops/)"
+        ),
     )
 
     merge = sweep_sub.add_parser(
@@ -503,6 +541,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the figure table here",
     )
+    merge.add_argument(
+        "--no-ops",
+        action="store_true",
+        help=(
+            "skip the wall-clock span log "
+            "(STORE/repro.ops/merge.ops.jsonl)"
+        ),
+    )
+
+    status = sweep_sub.add_parser(
+        "status",
+        help=(
+            "aggregate shard heartbeats + ops logs into a fleet "
+            "view: per-shard progress bars, straggler flagging "
+            "(rate below a fraction of the fleet median), and "
+            "dead-shard detection (stale heartbeat)"
+        ),
+    )
+    status.add_argument("plan", help="plan written by 'sweep plan'")
+    status.add_argument(
+        "--store",
+        dest="stores",
+        action="append",
+        required=True,
+        metavar="DIR",
+        help=(
+            "shard store directory to scan for heartbeats "
+            "(repeatable; telemetry lives under DIR/repro.ops/)"
+        ),
+    )
+    status.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "keep re-rendering until every shard reaches a "
+            "terminal state"
+        ),
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="--watch refresh period in seconds (default 2)",
+    )
+    status.add_argument(
+        "--stale",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help=(
+            "a running shard whose heartbeat is older than this is "
+            "reported dead (default 30)"
+        ),
+    )
+    status.add_argument(
+        "--straggler",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help=(
+            "flag a running shard whose run rate is below FRAC of "
+            "the fleet median (default 0.5)"
+        ),
+    )
     return parser
 
 
@@ -531,6 +634,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "ops":
+        return _cmd_ops(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     # repro: lint-ok[E1] unreachable parser-dispatch guard
@@ -624,6 +729,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             print(f"error: cannot write trace '{args.trace}': {exc}",
                   file=sys.stderr)
             return 2
+    sweep_started = time.monotonic()
     if args.figure is not None:
         module, precision = _FIGURES[f"fig{args.figure}"]
         if args.quick:
@@ -649,6 +755,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             executor=executor,
         )
         text = report.render()
+    sweep_elapsed = time.monotonic() - sweep_started
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -666,12 +773,17 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.trace is not None:
         _write_representative_trace(args, config)
     if args.manifest is not None:
-        return _write_run_manifest(args, executor, store)
+        return _write_run_manifest(
+            args, executor, store, wall_seconds=sweep_elapsed
+        )
     return 0
 
 
 def _write_run_manifest(
-    args: argparse.Namespace, executor, store=None
+    args: argparse.Namespace,
+    executor,
+    store=None,
+    wall_seconds: float = 0.0,
 ) -> int:
     """Record one ``reproduce`` invocation as a JSON manifest."""
     from .obs import dump_json, run_manifest
@@ -712,6 +824,15 @@ def _write_run_manifest(
             "runs_cached": stats.runs_cached,
             "events_fired": stats.events_fired,
             "sim_seconds": stats.sim_seconds,
+            "cells_computed": stats.cells_computed,
+            "cells_cached": stats.cells_cached,
+            "wall_seconds": wall_seconds,
+            "cells_per_sec": (
+                (stats.cells_cached + stats.cells_computed)
+                / wall_seconds
+                if wall_seconds > 0
+                else None
+            ),
         },
         cache=cache,
     )
@@ -982,13 +1103,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    """Render a ``repro.ops/1`` span log: tree + critical path."""
+    from .errors import OpsError
+    from .obs.ops import load_ops
+    from .obs.span import render_critical_path, render_span_tree
+
+    try:
+        spans = load_ops(args.path)
+    except OpsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_span_tree(spans, max_depth=max(1, args.depth)))
+    print()
+    print(render_critical_path(spans))
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace, plan: dict) -> int:
+    """The ``repro sweep status [--watch]`` fleet view."""
+    from .obs.ops import find_heartbeats, fleet_status, render_fleet
+
+    first = True
+    while True:
+        statuses = fleet_status(
+            plan,
+            find_heartbeats(args.stores),
+            now=time.time(),
+            stale_after=args.stale,
+            straggler_below=args.straggler,
+        )
+        if not first:
+            print()
+        print(render_fleet(plan, statuses))
+        first = False
+        terminal = all(
+            status.state in ("done", "failed")
+            for status in statuses
+        )
+        if not args.watch or terminal:
+            return 0
+        time.sleep(max(0.1, args.interval))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    """The ``repro sweep plan|run|merge`` sharded-sweep protocol.
+    """The ``repro sweep plan|run|merge|status`` sharded-sweep protocol.
 
     Exit codes follow the repo convention: 0 on success, 1 when any
-    of a shard's runs failed, 2 on a malformed/stale plan or store.
+    of a shard's runs failed, 2 on a malformed/stale plan or store
+    (or unreadable telemetry for ``status``).
     """
-    from .errors import StoreError, SweepError
+    from .errors import OpsError, StoreError, SweepError
     from .experiments import sweep_service
     from .parallel import ResultStore, SweepProgress
 
@@ -997,19 +1162,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: --jobs must be >= 1, got {jobs}",
               file=sys.stderr)
         return 2
+    ops = not getattr(args, "no_ops", False)
     try:
         if args.sweep_command == "plan":
-            plan = sweep_service.build_plan(
-                args.figure,
-                quick=args.quick,
-                fidelity=args.fidelity,
-                shards=args.shards,
-            )
+            from .obs.ops import NULL_OPS, OpsLog
+
             target = (
                 args.output
                 or f"sweep-fig{args.figure}.plan.json"
             )
-            sweep_service.dump_plan(plan, target)
+            ops_log = (
+                OpsLog(f"{target}.ops.jsonl") if ops else NULL_OPS
+            )
+            with ops_log:
+                with ops_log.span(
+                    "plan",
+                    figure=args.figure,
+                    shards=args.shards,
+                ) as span:
+                    plan = sweep_service.build_plan(
+                        args.figure,
+                        quick=args.quick,
+                        fidelity=args.fidelity,
+                        shards=args.shards,
+                    )
+                    sweep_service.dump_plan(plan, target)
+                    span.attrs["runs"] = plan["total_runs"]
             per_shard = ", ".join(
                 str(sum(1 for run in plan["runs"]
                         if run["shard"] == shard))
@@ -1022,6 +1200,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             return 0
         plan = sweep_service.load_plan(args.plan)
+        if args.sweep_command == "status":
+            return _cmd_sweep_status(args, plan)
         progress = (
             SweepProgress(mode=args.progress)
             if getattr(args, "progress", None)
@@ -1034,6 +1214,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ResultStore(args.store),
                 jobs=jobs,
                 progress=progress,
+                ops=ops,
             )
             print(
                 f"shard {report.shard}/{report.shards}: "
@@ -1048,6 +1229,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 sources=args.sources,
                 jobs=jobs,
                 progress=progress,
+                ops=ops,
             )
             text = format_figure(
                 report.result, precision=report.precision
@@ -1072,6 +1254,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except OpsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

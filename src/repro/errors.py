@@ -94,6 +94,16 @@ class StoreError(ExperimentError):
     """
 
 
+class OpsError(ReproError):
+    """An operational-telemetry document is malformed or unreadable.
+
+    Covers ``repro.ops/1`` span logs that fail to parse or validate
+    and shard heartbeat files with schema drift — the wall-clock
+    observability layer (:mod:`repro.obs.ops`), not the sim-time
+    tracer.
+    """
+
+
 class TraceError(ReproError):
     """A trace, metric, or exporter was configured or parsed incorrectly."""
 

@@ -35,6 +35,15 @@ from pathlib import Path
 from typing import Sequence
 
 from ..errors import StoreError
+from ..obs.ops import (
+    NULL_HEARTBEAT,
+    NULL_OPS,
+    OpsLog,
+    ShardHeartbeat,
+    heartbeat_path,
+    merge_ops_path,
+    shard_ops_path,
+)
 from ..parallel import (
     ResultStore,
     SweepExecutor,
@@ -271,8 +280,16 @@ def run_shard(
     store: ResultStore,
     jobs: int | None = 1,
     progress: SweepProgress | None = None,
+    ops: bool = True,
 ) -> ShardReport:
     """Execute one shard of a plan into a result store.
+
+    With ``ops`` (the default) the shard writes wall-clock telemetry
+    next to the store: a ``repro.ops/1`` span log (one ``shard`` root
+    span over per-run ``cell-run`` and ``store-commit`` spans) and an
+    atomically-rewritten heartbeat that ``repro sweep status`` reads.
+    Telemetry never influences results — the merged figure is
+    byte-identical either way.
 
     Raises:
         StoreError: invalid shard index or a stale plan.
@@ -290,10 +307,43 @@ def run_shard(
         if run["shard"] == shard
     ]
     selected.sort(key=lambda spec: (spec.cell_index, spec.seed_index))
-    executor = SweepExecutor(
-        jobs=jobs, progress=progress, store=store
+    ops_log = (
+        OpsLog(shard_ops_path(store.root, shard)) if ops else NULL_OPS
     )
-    outcomes = executor.map_runs(selected)
+    heartbeat = (
+        ShardHeartbeat(
+            heartbeat_path(store.root, shard),
+            shard=shard,
+            shards=shards,
+        )
+        if ops
+        else NULL_HEARTBEAT
+    )
+    store.ops = ops_log
+    executor = SweepExecutor(
+        jobs=jobs,
+        progress=progress,
+        store=store,
+        ops=ops_log,
+        heartbeat=heartbeat,
+    )
+    try:
+        with ops_log.span(
+            "shard",
+            figure=plan["figure"],
+            shard=shard,
+            shards=shards,
+            runs=len(selected),
+        ) as span:
+            outcomes = executor.map_runs(selected)
+            span.attrs["cached"] = sum(
+                1 for o in outcomes if o.cached
+            )
+            span.attrs["failed"] = sum(
+                1 for o in outcomes if not o.ok
+            )
+    finally:
+        ops_log.close()
     failures = [o for o in outcomes if not o.ok]
     if failures:
         from ..errors import SweepError
@@ -344,25 +394,44 @@ def merge_plan(
     sources: Sequence[str | Path] = (),
     jobs: int | None = 1,
     progress: SweepProgress | None = None,
+    ops: bool = True,
 ) -> MergeReport:
-    """Merge shard stores and produce the plan's final figure."""
+    """Merge shard stores and produce the plan's final figure.
+
+    With ``ops`` (the default) the merge writes its own span log next
+    to the target store: one ``merge`` root span over per-source
+    ``store-absorb`` spans and the replay's ``cell-run`` spans (all
+    cache hits when every shard ran; computed otherwise).
+    """
     _rebuild_specs(plan)  # fail fast on a stale plan
-    absorbed = 0
-    for source in sources:
-        absorbed += store.absorb(source)
+    ops_log = OpsLog(merge_ops_path(store.root)) if ops else NULL_OPS
+    store.ops = ops_log
+    executor = SweepExecutor(
+        jobs=jobs, progress=progress, store=store, ops=ops_log
+    )
     config = sweep_config(plan["quick"], plan["fidelity"])
     module = FIGURE_MODULES[plan["figure"]]
-    executor = SweepExecutor(
-        jobs=jobs, progress=progress, store=store
-    )
-    if plan["quick"]:
-        result = module.run(
-            config,
-            bandwidths_kb=QUICK_BANDWIDTHS_KB,
-            executor=executor,
-        )
-    else:
-        result = module.run(config, executor=executor)
+    try:
+        with ops_log.span(
+            "merge",
+            figure=plan["figure"],
+            shards=plan["shards"],
+            sources=len(list(sources)),
+        ) as span:
+            absorbed = 0
+            for source in sources:
+                absorbed += store.absorb(source)
+            span.attrs["absorbed"] = absorbed
+            if plan["quick"]:
+                result = module.run(
+                    config,
+                    bandwidths_kb=QUICK_BANDWIDTHS_KB,
+                    executor=executor,
+                )
+            else:
+                result = module.run(config, executor=executor)
+    finally:
+        ops_log.close()
     stats = executor.stats
     return MergeReport(
         result=result,

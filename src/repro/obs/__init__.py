@@ -20,7 +20,12 @@ every other subsystem records into:
 * :mod:`repro.obs.analyze` (with :mod:`~repro.obs.timeline`,
   :mod:`~repro.obs.causes`, :mod:`~repro.obs.render`) — the diagnosis
   layer: per-peer timeline reconstruction, stall root-cause
-  attribution, swarm-health rollups, and the cause-marked ASCII Gantt.
+  attribution, swarm-health rollups, and the cause-marked ASCII Gantt;
+* :mod:`repro.obs.span` / :mod:`repro.obs.ops` — *wall-clock*
+  operational telemetry for the sweep orchestration layer
+  (``repro.ops/1`` span logs, shard heartbeats, and the fleet view
+  behind ``repro sweep status``), cleanly separated from the sim-time
+  tracer above.
 
 Tracing a run::
 
@@ -119,6 +124,22 @@ from .manifest import (
     render_environment,
     run_manifest,
 )
+from .ops import (
+    NULL_HEARTBEAT,
+    NULL_OPS,
+    OpsLog,
+    ShardHeartbeat,
+    ShardStatus,
+    find_heartbeats,
+    fleet_status,
+    heartbeat_path,
+    load_ops,
+    merge_ops_path,
+    ops_root,
+    read_heartbeat,
+    render_fleet,
+    shard_ops_path,
+)
 from .profile import EngineProfile, handler_category
 from .render import CAUSE_SYMBOLS, render_gantt
 from .timeline import (
@@ -131,12 +152,23 @@ from .timeline import (
     TransferRecord,
     build_timelines,
 )
+from .span import (
+    OPS_SCHEMA,
+    Span,
+    critical_path,
+    render_critical_path,
+    render_span_tree,
+    span_from_dict,
+)
 from .tracer import NULL_TRACER, EventTracer, NullTracer, Tracer
 
 __all__ = [
     "CAUSE_SYMBOLS",
     "EVENT_TYPES",
+    "NULL_HEARTBEAT",
+    "NULL_OPS",
     "NULL_TRACER",
+    "OPS_SCHEMA",
     "SEEDER_CONCURRENCY_THRESHOLD",
     "SEVERITIES",
     "STALL_CAUSES",
@@ -157,6 +189,7 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "Observability",
+    "OpsLog",
     "PeerDeparted",
     "PeerJoined",
     "PeerTimeline",
@@ -171,8 +204,11 @@ __all__ = [
     "SegmentFetch",
     "SegmentRequested",
     "SelectionMade",
+    "ShardHeartbeat",
+    "ShardStatus",
     "SimulationCompleted",
     "SimulationStarted",
+    "Span",
     "StallAttribution",
     "StallEnded",
     "StallSpan",
@@ -195,6 +231,7 @@ __all__ = [
     "build_timelines",
     "cause_histogram",
     "compare_artifacts",
+    "critical_path",
     "dump_json",
     "dump_jsonl",
     "environment_block",
@@ -203,20 +240,32 @@ __all__ = [
     "event_type",
     "events_to_jsonl",
     "figure_metrics",
+    "find_heartbeats",
+    "fleet_status",
     "git_info",
     "handler_category",
+    "heartbeat_path",
     "load_artifact",
     "load_jsonl",
+    "load_ops",
     "merge_analyses",
+    "merge_ops_path",
+    "ops_root",
+    "read_heartbeat",
     "render_analysis",
     "render_attributions",
     "render_cause_table",
     "render_comparison",
+    "render_critical_path",
     "render_environment",
+    "render_fleet",
     "render_gantt",
     "render_run_report",
+    "render_span_tree",
     "render_trace_summary",
     "run_manifest",
+    "shard_ops_path",
+    "span_from_dict",
     "summarize_trace",
     "timeseries_csv",
     "validate_artifact",

@@ -31,6 +31,7 @@ from ..errors import ExperimentError, SweepError
 from ..experiments.runner import CellResult, merge_cell
 from ..obs.analyze import analyze_observability
 from ..obs.context import Observability
+from ..obs.ops import NULL_HEARTBEAT, NULL_OPS, OpsLog, ShardHeartbeat
 from .progress import NULL_PROGRESS, SweepProgress
 from .snapshot import merge_profile, merge_snapshot
 from .spec import CellSpec, RunSpec
@@ -116,6 +117,15 @@ class SweepExecutor:
             committed as they finish, making interrupted sweeps
             resumable.  Ignored for traced or profiled sweeps, which
             must execute live (see :mod:`repro.parallel.store`).
+        ops: optional wall-clock span log
+            (:class:`~repro.obs.ops.OpsLog`); one ``cell-run`` span
+            is emitted per settled run, in completion order, under
+            whatever span the caller holds open.  Telemetry only: it
+            never influences results.
+        heartbeat: optional shard heartbeat
+            (:class:`~repro.obs.ops.ShardHeartbeat`), begun/updated/
+            finished around each :meth:`map_runs` like the progress
+            reporter.
     """
 
     def __init__(
@@ -124,6 +134,8 @@ class SweepExecutor:
         timeout: float | None = None,
         progress: SweepProgress | None = None,
         store: ResultStore | None = None,
+        ops: OpsLog | None = None,
+        heartbeat: ShardHeartbeat | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1: {jobs}")
@@ -135,6 +147,10 @@ class SweepExecutor:
         self.timeout = timeout
         self.progress = progress if progress is not None else NULL_PROGRESS
         self.store = store
+        self.ops = ops if ops is not None else NULL_OPS
+        self.heartbeat = (
+            heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        )
         self._stats = SweepStats()
 
     @property
@@ -185,6 +201,8 @@ class SweepExecutor:
         in_process = self.jobs == 1 or tracing
         progress = self.progress
         progress.begin(specs)
+        self.heartbeat.begin(len(specs))
+        crashed = True
         try:
             cached: list[RunOutcome] = []
             pending: list[RunSpec] = []
@@ -204,7 +222,7 @@ class SweepExecutor:
                         pending.append(spec)
                     else:
                         cached.append(hit)
-                        progress.update(hit)
+                        self._observe(hit)
             if in_process:
                 fresh = self._map_in_process(
                     pending, obs, analyze=analyze, store=store
@@ -228,8 +246,10 @@ class SweepExecutor:
                         and obs.profile is not None
                     ):
                         merge_profile(obs.profile, outcome.profile)
+            crashed = False
         finally:
             progress.finish()
+            self.heartbeat.finish("failed" if crashed else "done")
         if store is not None and obs is not None:
             self._publish_store_counters(
                 obs,
@@ -238,6 +258,35 @@ class SweepExecutor:
             )
         self._account(outcomes)
         return outcomes
+
+    def _observe(self, outcome: RunOutcome) -> None:
+        """One settled run: notify progress, ops log, and heartbeat.
+
+        Called in completion order (non-deterministic on the pool
+        path), which is fine: all three sinks are display/telemetry,
+        never data.  A cached hit's ``wall_seconds`` reports the
+        *original* compute cost, so its span here has zero duration —
+        serving it cost no wall time now.
+        """
+        self.progress.update(outcome)
+        if self.ops.enabled:
+            attrs = {
+                "cell": outcome.label,
+                "seed": outcome.seed,
+                "cached": outcome.cached,
+                "pid": getattr(outcome, "pid", 0),
+            }
+            if outcome.error is not None:
+                attrs["error"] = outcome.error
+            self.ops.record(
+                "cell-run",
+                duration_s=(
+                    0.0 if outcome.cached else outcome.wall_seconds
+                ),
+                status="ok" if outcome.ok else "failed",
+                **attrs,
+            )
+        self.heartbeat.update(outcome)
 
     def _map_in_process(
         self,
@@ -274,7 +323,7 @@ class SweepExecutor:
                     outcome = self._run_analyzed(spec, obs)
                 else:
                     outcome = execute_run(spec, obs)
-            self.progress.update(outcome)
+            self._observe(outcome)
             outcomes.append(outcome)
         return outcomes
 
@@ -376,7 +425,7 @@ class SweepExecutor:
                         # resumable from the store.
                         store.put(futures[future], outcome)
                     outcomes.append(outcome)
-                    self.progress.update(outcome)
+                    self._observe(outcome)
             except FuturesTimeout:
                 timed_out = True
                 for future, spec in futures.items():
@@ -413,6 +462,7 @@ class SweepExecutor:
             seed=spec.seed,
             label=spec.cell.describe(),
             error=error,
+            pid=os.getpid(),
         )
 
     def _account(self, outcomes: list[RunOutcome]) -> None:

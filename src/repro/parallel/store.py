@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..errors import StoreError
+from ..obs.ops import NULL_OPS, OpsLog
 from .digest import content_digest
 from .spec import RunSpec
 from .worker import RunOutcome
@@ -103,13 +104,22 @@ class ResultStore:
         schema: entry-layout version (tests inject a fake one to
             exercise invalidation); everything else should use the
             default :data:`STORE_SCHEMA`.
+        ops: optional wall-clock span log; each commit emits a
+            ``store-commit`` span and each :meth:`absorb` source a
+            ``store-absorb`` span, parented under whatever span the
+            orchestration layer holds open.  Also assignable after
+            construction (the sweep service attaches its shard log).
     """
 
     def __init__(
-        self, root: str | Path, schema: str = STORE_SCHEMA
+        self,
+        root: str | Path,
+        schema: str = STORE_SCHEMA,
+        ops: OpsLog | None = None,
     ) -> None:
         self.root = Path(root)
         self.schema = schema
+        self.ops = ops if ops is not None else NULL_OPS
         self._stats = StoreStats()
 
     @property
@@ -183,6 +193,12 @@ class ResultStore:
         outcome = entry.get("outcome")
         if not isinstance(outcome, RunOutcome) or not outcome.ok:
             return None
+        # Entries pickled before the optional ``pid`` field existed
+        # unpickle with that slot unset; default it so field access
+        # and ``dataclasses.replace`` keep working (this is why the
+        # addition was not a schema bump).
+        if getattr(outcome, "pid", None) is None:
+            object.__setattr__(outcome, "pid", 0)
         return outcome
 
     def put(self, spec: RunSpec, outcome: RunOutcome) -> None:
@@ -203,6 +219,19 @@ class ResultStore:
             "key": key,
             "outcome": replace(outcome, profile=None, cached=False),
         }
+        if self.ops.enabled:
+            with self.ops.span(
+                "store-commit",
+                key=key,
+                cell=outcome.label,
+                seed=outcome.seed,
+            ):
+                self._commit(key, entry)
+        else:
+            self._commit(key, entry)
+        self._count(stores=1)
+
+    def _commit(self, key: str, entry: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
@@ -210,7 +239,6 @@ class ResultStore:
             pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         )
         os.replace(tmp, path)
-        self._count(stores=1)
 
     def keys(self) -> list[str]:
         """Every entry key in the store, sorted."""
@@ -249,6 +277,17 @@ class ResultStore:
             if isinstance(source, ResultStore)
             else ResultStore(source, schema=self.schema)
         )
+        if self.ops.enabled:
+            with self.ops.span(
+                "store-absorb", source=str(other.root)
+            ) as span:
+                copied = self._absorb(other)
+                span.attrs["copied"] = copied
+        else:
+            copied = self._absorb(other)
+        return copied
+
+    def _absorb(self, other: "ResultStore") -> int:
         copied = 0
         for key in other.keys():
             target = self._path(key)

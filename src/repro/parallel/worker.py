@@ -15,6 +15,7 @@ crashed run reports itself instead of killing the sweep.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from time import perf_counter
 
@@ -58,6 +59,12 @@ class RunOutcome:
             :class:`~repro.parallel.store.ResultStore` instead of
             being computed this sweep; ``wall_seconds`` then reports
             what the *original* execution cost.
+        pid: process id that executed the run (the parent for
+            in-process sweeps, a pool worker otherwise).  Entries
+            pickled before the field existed unpickle without the
+            slot; the store defaults it to ``0`` on load, which is
+            why adding this optional field is not a ``repro.store``
+            schema bump.
     """
 
     cell_index: int
@@ -71,6 +78,7 @@ class RunOutcome:
     analysis: RunAnalysis | None = None
     profile: ProfileSnapshot | None = None
     cached: bool = False
+    pid: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,6 +147,7 @@ def execute_run(
             end_time=swarm.sim.now,
         ),
         wall_seconds=perf_counter() - started,
+        pid=os.getpid(),
     )
 
 
@@ -164,6 +173,7 @@ def pool_entry(spec: RunSpec) -> RunOutcome:
             seed=spec.seed,
             label=spec.cell.describe(),
             error=f"{type(exc).__name__}: {exc}",
+            pid=os.getpid(),
         )
     if obs is not None and spec.collect_metrics:
         outcome = replace(

@@ -201,6 +201,26 @@ class TestPlainMode:
             in stream.getvalue()
         )
 
+    def test_all_cache_hits_shard_stays_plain_text(self):
+        # A fully warm shard (every run served from the store) on a
+        # non-TTY stream: cached counts appear, and the output is
+        # pure append-only text with no terminal control codes.
+        progress, stream = plain_progress()
+        assert not stream.isatty()
+        progress.begin([spec(0, "cell-a"), spec(1, "cell-b")])
+        progress.update(cached_outcome(0, stalls=3.0))
+        progress.update(cached_outcome(1, stalls=1.0))
+        progress.finish()
+        text = stream.getvalue()
+        assert "cell-a cached" in text
+        assert "cell-b cached" in text
+        assert (
+            "sweep: 2/2 cells done, 0 failed, 2 cached, 2/2 runs"
+            in text
+        )
+        assert "\r" not in text
+        assert "\x1b" not in text
+
     def test_summary_unchanged_without_cache(self):
         # Cacheless sweeps keep the historical summary text.
         progress, stream = plain_progress()

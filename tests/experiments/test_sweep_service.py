@@ -9,6 +9,7 @@ store serves the original per-run outcomes.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -24,6 +25,16 @@ from repro.experiments.sweep_service import (
     run_shard,
     shard_of,
     validate_plan,
+)
+from repro.obs.ops import (
+    OPS_SCHEMA,
+    fleet_status,
+    heartbeat_path,
+    load_ops,
+    merge_ops_path,
+    ops_root,
+    read_heartbeat,
+    shard_ops_path,
 )
 from repro.parallel import ResultStore, SweepExecutor
 
@@ -240,3 +251,156 @@ class TestCliSweep:
             "--jobs", "0",
         ]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestOpsTelemetry:
+    def test_run_shard_writes_span_log(self, quick_plan, tmp_path):
+        store = ResultStore(tmp_path / "s0")
+        report = run_shard(quick_plan, 0, store, jobs=1)
+        spans = load_ops(shard_ops_path(store.root, 0))
+        roots = [s for s in spans if s.parent is None]
+        assert [s.name for s in roots] == ["shard"]
+        assert roots[0].attrs["runs"] == report.runs
+        assert roots[0].attrs["failed"] == 0
+        cell_runs = [s for s in spans if s.name == "cell-run"]
+        assert len(cell_runs) == report.runs
+        commits = [s for s in spans if s.name == "store-commit"]
+        assert len(commits) == report.computed
+        # Every other span hangs off the shard root.
+        assert all(
+            s.parent == roots[0].id
+            for s in spans
+            if s is not roots[0]
+        )
+
+    def test_run_shard_writes_heartbeat(self, quick_plan, tmp_path):
+        store = ResultStore(tmp_path / "s0")
+        report = run_shard(quick_plan, 0, store, jobs=1)
+        payload = read_heartbeat(heartbeat_path(store.root, 0))
+        assert payload["schema"] == OPS_SCHEMA
+        assert payload["state"] == "done"
+        assert payload["shard"] == 0
+        assert payload["shards"] == 3
+        assert payload["pid"] == os.getpid()
+        assert payload["runs_done"] == report.runs
+        assert payload["runs_computed"] == report.computed
+        assert payload["in_flight"] == 0
+
+    def test_ops_false_writes_nothing(self, quick_plan, tmp_path):
+        store = ResultStore(tmp_path / "s0")
+        run_shard(quick_plan, 0, store, jobs=1, ops=False)
+        assert not ops_root(store.root).exists()
+
+    def test_merge_writes_span_log(self, quick_plan, tmp_path):
+        shard_store = ResultStore(tmp_path / "s0")
+        report0 = run_shard(quick_plan, 0, shard_store, jobs=1)
+        merged = ResultStore(tmp_path / "merged")
+        merge_plan(
+            quick_plan, merged, sources=[shard_store.root], jobs=1
+        )
+        spans = load_ops(merge_ops_path(merged.root))
+        roots = [s for s in spans if s.parent is None]
+        assert [s.name for s in roots] == ["merge"]
+        assert roots[0].attrs["absorbed"] == report0.runs
+        absorbs = [s for s in spans if s.name == "store-absorb"]
+        assert len(absorbs) == 1
+        assert absorbs[0].attrs["copied"] == report0.runs
+
+
+class TestFleetView:
+    def beat(self, updated, shard=0, state="running", done=0,
+             total=3, rate=None):
+        return {
+            "schema": OPS_SCHEMA,
+            "kind": "heartbeat",
+            "shard": shard,
+            "shards": 3,
+            "pid": 1,
+            "state": state,
+            "started": updated - 10.0,
+            "updated": updated,
+            "runs_total": total,
+            "runs_done": done,
+            "runs_computed": done,
+            "runs_cached": 0,
+            "runs_failed": 0,
+            "in_flight": total - done,
+            "last_commit": None,
+            "rate_runs_per_s": rate,
+            "eta_s": None,
+        }
+
+    def test_planned_counts_come_from_the_plan(self, quick_plan):
+        statuses = fleet_status(quick_plan, [], now=0.0)
+        assert len(statuses) == 3
+        assert sum(s.planned for s in statuses) == 8
+        assert all(s.state == "missing" for s in statuses)
+
+    def test_stalled_shard_flagged_as_straggler(self, quick_plan):
+        now = 1000.0
+        statuses = fleet_status(
+            quick_plan,
+            [
+                self.beat(now - 1.0, shard=0, done=2, rate=2.0),
+                self.beat(now - 1.0, shard=1, done=2, rate=2.0),
+                self.beat(now - 1.0, shard=2, done=1, rate=0.2),
+            ],
+            now=now,
+        )
+        assert [s.straggler for s in statuses] == [
+            False, False, True,
+        ]
+
+    def test_killed_shard_detected_by_stale_heartbeat(
+        self, quick_plan
+    ):
+        now = 1000.0
+        statuses = fleet_status(
+            quick_plan,
+            [
+                self.beat(now - 1.0, shard=0, done=3, state="done"),
+                self.beat(now - 300.0, shard=1, done=1, rate=1.0),
+            ],
+            now=now,
+            stale_after=30.0,
+        )
+        assert statuses[1].state == "dead"
+        assert statuses[2].state == "missing"
+
+    @pytest.mark.slow
+    def test_cli_status_renders_fleet(
+        self, quick_plan, tmp_path, capsys
+    ):
+        import time
+
+        from repro.cli import main
+
+        plan_path = tmp_path / "plan.json"
+        dump_plan(quick_plan, plan_path)
+        store = ResultStore(tmp_path / "s0")
+        run_shard(quick_plan, 0, store, jobs=1)
+        assert main([
+            "sweep", "status", str(plan_path),
+            "--store", str(store.root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep fleet: figure 2 (quick)" in out
+        assert "shard 0" in out
+        assert "done" in out
+        assert "no heartbeat" in out
+
+        # A stale still-"running" heartbeat from a killed worker.
+        dead = self.beat(time.time() - 300.0, shard=1, done=1)
+        heartbeat_path(tmp_path / "s1", 1).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        heartbeat_path(tmp_path / "s1", 1).write_text(
+            json.dumps(dead), encoding="utf-8"
+        )
+        assert main([
+            "sweep", "status", str(plan_path),
+            "--store", str(store.root),
+            "--store", str(tmp_path / "s1"),
+        ]) == 0
+        assert "DEAD" in capsys.readouterr().out

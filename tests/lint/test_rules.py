@@ -111,6 +111,34 @@ class TestD1WallClock:
         )
 
 
+    def test_ops_telemetry_is_exempt_by_default(self):
+        # The ops span layer exists to read the wall clock; the
+        # default allowlist carves it out even when repro.obs is
+        # pulled into the sim-path scope.
+        config = LintConfig(sim_path=("repro.obs",))
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert not findings_for(
+            source,
+            module="repro.obs.ops",
+            config=config,
+            select=("D1",),
+        )
+        # The exemption is the module, not the package: a sibling
+        # under the same scope is still flagged.
+        findings = findings_for(
+            source,
+            module="repro.obs.analyze",
+            config=config,
+            select=("D1",),
+        )
+        assert rules_of(findings) == ["D1"]
+
+
 class TestD2GlobalRandom:
     def test_flags_global_generator_call(self):
         findings = findings_for(

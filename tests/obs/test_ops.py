@@ -1,0 +1,523 @@
+"""Wall-clock ops telemetry: spans, logs, heartbeats, fleet view."""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import OpsError
+from repro.obs.ops import (
+    NULL_HEARTBEAT,
+    NULL_OPS,
+    OpsLog,
+    ShardHeartbeat,
+    find_heartbeats,
+    fleet_status,
+    heartbeat_path,
+    load_ops,
+    merge_ops_path,
+    read_heartbeat,
+    render_fleet,
+    shard_ops_path,
+)
+from repro.obs.span import (
+    OPS_SCHEMA,
+    Span,
+    critical_path,
+    render_critical_path,
+    render_span_tree,
+    span_from_dict,
+)
+
+
+class FakeClock:
+    """A deterministic epoch-seconds clock tests advance by hand."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def outcome(ok: bool = True, cached: bool = False) -> SimpleNamespace:
+    return SimpleNamespace(ok=ok, cached=cached)
+
+
+def fake_plan(shards: int, per_shard: list[int]) -> dict:
+    runs = [
+        {"shard": shard}
+        for shard, count in enumerate(per_shard)
+        for _ in range(count)
+    ]
+    return {
+        "figure": "2",
+        "quick": True,
+        "shards": shards,
+        "runs": runs,
+    }
+
+
+def heartbeat(
+    shard: int,
+    updated: float,
+    state: str = "running",
+    done: int = 0,
+    total: int = 4,
+    rate: float | None = None,
+    computed: int | None = None,
+) -> dict:
+    return {
+        "schema": OPS_SCHEMA,
+        "kind": "heartbeat",
+        "shard": shard,
+        "shards": 3,
+        "pid": 123,
+        "state": state,
+        "started": updated - 10.0,
+        "updated": updated,
+        "runs_total": total,
+        "runs_done": done,
+        "runs_computed": computed if computed is not None else done,
+        "runs_cached": 0,
+        "runs_failed": 0,
+        "in_flight": total - done,
+        "last_commit": None,
+        "rate_runs_per_s": rate,
+        "eta_s": (total - done) / rate if rate else None,
+    }
+
+
+class TestSpan:
+    def test_round_trips_through_dict(self):
+        span = Span(
+            id=3,
+            parent=1,
+            name="cell-run",
+            start=10.0,
+            end=12.5,
+            status="failed",
+            attrs={"cell": "gop", "seed": 7},
+        )
+        rebuilt = span_from_dict(span.to_dict())
+        assert rebuilt == span
+        assert rebuilt.duration == pytest.approx(2.5)
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            "not a dict",
+            {"kind": "span"},  # no id
+            {"kind": "span", "id": 0, "name": "x"},
+            {"kind": "span", "id": 1, "name": ""},
+            {"kind": "span", "id": 1, "name": "x", "start": "soon"},
+            {
+                "kind": "span",
+                "id": 1,
+                "name": "x",
+                "start": 0,
+                "end": 1,
+                "status": "maybe",
+            },
+            {
+                "kind": "span",
+                "id": 1,
+                "name": "x",
+                "start": 0,
+                "end": 1,
+                "status": "ok",
+                "attrs": [],
+            },
+        ],
+    )
+    def test_rejects_malformed_records(self, record):
+        with pytest.raises(OpsError):
+            span_from_dict(record)
+
+    def test_critical_path_follows_latest_child(self):
+        spans = [
+            Span(id=1, parent=None, name="shard", start=0.0, end=10.0),
+            Span(id=2, parent=1, name="cell-run", start=0.0, end=4.0),
+            Span(id=3, parent=1, name="cell-run", start=1.0, end=9.0),
+            Span(id=4, parent=3, name="store-commit",
+                 start=8.9, end=9.0),
+        ]
+        path = critical_path(spans)
+        assert [span.id for span in path] == [1, 3, 4]
+
+    def test_render_names_every_span(self):
+        spans = [
+            Span(id=1, parent=None, name="shard", start=0.0, end=2.0),
+            Span(
+                id=2,
+                parent=1,
+                name="cell-run",
+                start=0.0,
+                end=1.5,
+                attrs={"cell": "gop @ 128", "seed": 7, "cached": True},
+            ),
+        ]
+        tree = render_span_tree(spans)
+        assert "shard" in tree
+        assert "gop @ 128 seed 7" in tree
+        assert "(cached)" in tree
+        summary = render_critical_path(spans)
+        assert "100.0%" in summary
+
+    def test_render_empty_log(self):
+        assert "empty" in render_span_tree([])
+        assert "empty" in render_critical_path([])
+
+
+class TestOpsLog:
+    def test_spans_nest_by_stack(self, tmp_path):
+        clock = FakeClock()
+        log = OpsLog(tmp_path / "run.ops.jsonl", clock=clock)
+        with log.span("shard", shard=0) as root:
+            clock.advance(1.0)
+            with log.span("cell-run", cell="gop"):
+                clock.advance(2.0)
+            root.attrs["cached"] = 0
+        log.close()
+        spans = load_ops(log.path)
+        by_name = {span.name: span for span in spans}
+        assert by_name["cell-run"].parent == by_name["shard"].id
+        assert by_name["shard"].parent is None
+        assert by_name["shard"].duration == pytest.approx(3.0)
+        assert by_name["shard"].attrs["cached"] == 0
+
+    def test_record_backdates_by_duration(self, tmp_path):
+        clock = FakeClock(start=500.0)
+        log = OpsLog(tmp_path / "run.ops.jsonl", clock=clock)
+        log.record("cell-run", duration_s=2.0, cell="gop", pid=42)
+        log.close()
+        (span,) = load_ops(log.path)
+        assert span.start == pytest.approx(498.0)
+        assert span.end == pytest.approx(500.0)
+        assert span.attrs["pid"] == 42
+
+    def test_failed_block_marks_span_failed(self, tmp_path):
+        log = OpsLog(tmp_path / "run.ops.jsonl", clock=FakeClock())
+        with pytest.raises(ValueError):
+            with log.span("shard"):
+                raise ValueError("boom")
+        log.close()
+        (span,) = load_ops(log.path)
+        assert span.status == "failed"
+
+    def test_header_names_the_schema(self, tmp_path):
+        log = OpsLog(tmp_path / "run.ops.jsonl", clock=FakeClock())
+        log.record("plan")
+        log.close()
+        first = json.loads(
+            log.path.read_text(encoding="utf-8").splitlines()[0]
+        )
+        assert first == {
+            "schema": OPS_SCHEMA,
+            "kind": "header",
+            "created": 1000.0,
+        }
+
+    def test_no_file_until_first_span(self, tmp_path):
+        log = OpsLog(tmp_path / "run.ops.jsonl", clock=FakeClock())
+        log.close()
+        assert not log.path.exists()
+
+    def test_null_ops_is_disabled_and_writes_nothing(self, tmp_path):
+        assert not NULL_OPS.enabled
+        with NULL_OPS.span("shard") as span:
+            span.attrs["x"] = 1
+        NULL_OPS.record("cell-run", duration_s=1.0)
+        NULL_OPS.close()
+
+
+class TestLoadOps:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OpsError, match="cannot read"):
+            load_ops(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(OpsError, match="empty"):
+            load_ops(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(OpsError, match="not valid JSON"):
+            load_ops(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        record = Span(
+            id=1, parent=None, name="shard", start=0.0, end=1.0
+        ).to_dict()
+        path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        with pytest.raises(OpsError, match="header"):
+            load_ops(path)
+
+    def test_unknown_schema_major_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": "repro.ops/99", "kind": "header"}
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(OpsError, match="repro.ops/99"):
+            load_ops(path)
+
+    def test_unknown_record_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "forward.jsonl"
+        lines = [
+            {"schema": OPS_SCHEMA, "kind": "header", "created": 0},
+            {"kind": "annotation", "text": "future record type"},
+            Span(
+                id=1, parent=None, name="shard", start=0.0, end=1.0
+            ).to_dict(),
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines),
+            encoding="utf-8",
+        )
+        assert len(load_ops(path)) == 1
+
+
+class TestShardHeartbeat:
+    def make(self, tmp_path, clock, interval=1.0):
+        return ShardHeartbeat(
+            heartbeat_path(tmp_path, 0),
+            shard=0,
+            shards=3,
+            interval=interval,
+            clock=clock,
+        )
+
+    def test_begin_writes_immediately(self, tmp_path):
+        beat = self.make(tmp_path, FakeClock())
+        beat.begin(4)
+        payload = read_heartbeat(beat.path)
+        assert payload["state"] == "running"
+        assert payload["runs_total"] == 4
+        assert payload["runs_done"] == 0
+        assert payload["in_flight"] == 4
+        assert payload["schema"] == OPS_SCHEMA
+
+    def test_updates_are_rate_limited(self, tmp_path):
+        clock = FakeClock()
+        beat = self.make(tmp_path, clock, interval=10.0)
+        beat.begin(4)
+        clock.advance(1.0)
+        beat.update(outcome())
+        # Inside the interval: file still shows the begin state.
+        assert read_heartbeat(beat.path)["runs_done"] == 0
+        clock.advance(10.0)
+        beat.update(outcome())
+        assert read_heartbeat(beat.path)["runs_done"] == 2
+
+    def test_final_run_always_writes(self, tmp_path):
+        clock = FakeClock()
+        beat = self.make(tmp_path, clock, interval=1000.0)
+        beat.begin(2)
+        clock.advance(0.1)
+        beat.update(outcome())
+        clock.advance(0.1)
+        beat.update(outcome())
+        assert read_heartbeat(beat.path)["runs_done"] == 2
+
+    def test_rate_and_eta_from_observed_run_rate(self, tmp_path):
+        clock = FakeClock()
+        beat = self.make(tmp_path, clock)
+        beat.begin(4)
+        clock.advance(2.0)
+        beat.update(outcome())
+        clock.advance(2.0)
+        beat.update(outcome())
+        payload = read_heartbeat(beat.path)
+        assert payload["rate_runs_per_s"] == pytest.approx(0.5)
+        assert payload["eta_s"] == pytest.approx(4.0)
+        assert payload["last_commit"] == pytest.approx(clock.now)
+
+    def test_finish_downgrades_to_failed_on_failures(self, tmp_path):
+        clock = FakeClock()
+        beat = self.make(tmp_path, clock)
+        beat.begin(2)
+        beat.update(outcome(ok=False))
+        clock.advance(2.0)
+        beat.update(outcome())
+        beat.finish("done")
+        payload = read_heartbeat(beat.path)
+        assert payload["state"] == "failed"
+        assert payload["runs_failed"] == 1
+
+    def test_cached_runs_counted_separately(self, tmp_path):
+        clock = FakeClock()
+        beat = self.make(tmp_path, clock)
+        beat.begin(2)
+        clock.advance(2.0)
+        beat.update(outcome(cached=True))
+        clock.advance(2.0)
+        beat.update(outcome())
+        beat.finish()
+        payload = read_heartbeat(beat.path)
+        assert payload["runs_cached"] == 1
+        assert payload["runs_computed"] == 1
+        assert payload["state"] == "done"
+
+    def test_null_heartbeat_is_disabled(self):
+        assert not NULL_HEARTBEAT.enabled
+        NULL_HEARTBEAT.begin(4)
+        NULL_HEARTBEAT.update(outcome())
+        NULL_HEARTBEAT.finish()
+
+    def test_read_rejects_schema_drift(self, tmp_path):
+        path = tmp_path / "bad.heartbeat.json"
+        path.write_text(
+            json.dumps({"schema": "repro.ops/99", "kind": "heartbeat"}),
+            encoding="utf-8",
+        )
+        with pytest.raises(OpsError, match="repro.ops/99"):
+            read_heartbeat(path)
+
+    def test_read_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.heartbeat.json"
+        path.write_text(
+            json.dumps({"schema": OPS_SCHEMA, "kind": "header"}),
+            encoding="utf-8",
+        )
+        with pytest.raises(OpsError, match="kind"):
+            read_heartbeat(path)
+
+    def test_find_heartbeats_scans_store_roots(self, tmp_path):
+        clock = FakeClock()
+        for shard, root in enumerate(["a", "b"]):
+            beat = ShardHeartbeat(
+                heartbeat_path(tmp_path / root, shard),
+                shard=shard,
+                shards=2,
+                clock=clock,
+            )
+            beat.begin(1)
+        found = find_heartbeats(
+            [tmp_path / "a", tmp_path / "b", tmp_path / "empty"]
+        )
+        assert sorted(p["shard"] for p in found) == [0, 1]
+
+
+class TestFleetStatus:
+    def test_joins_plan_with_heartbeats(self):
+        plan = fake_plan(3, [4, 4, 4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 1.0, done=4, state="done"),
+                heartbeat(1, now - 1.0, done=2, rate=1.0),
+            ],
+            now=now,
+        )
+        assert [s.state for s in statuses] == [
+            "done",
+            "running",
+            "missing",
+        ]
+        assert statuses[0].planned == 4
+        assert statuses[1].done == 2
+        assert statuses[2].note == "no heartbeat"
+
+    def test_stale_running_heartbeat_marks_shard_dead(self):
+        plan = fake_plan(3, [4, 4, 4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 1.0, done=2, rate=1.0),
+                heartbeat(1, now - 120.0, done=1, rate=1.0),
+                heartbeat(2, now - 1.0, done=4, state="done"),
+            ],
+            now=now,
+            stale_after=30.0,
+        )
+        assert statuses[1].state == "dead"
+        assert "stale" in statuses[1].note
+        # Terminal heartbeats never go stale: the shard exited.
+        assert statuses[2].state == "done"
+
+    def test_slow_shard_flagged_as_straggler(self):
+        plan = fake_plan(3, [4, 4, 4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 1.0, done=2, rate=2.0),
+                heartbeat(1, now - 1.0, done=2, rate=2.0),
+                heartbeat(2, now - 1.0, done=1, rate=0.1),
+            ],
+            now=now,
+            straggler_below=0.5,
+        )
+        assert [s.straggler for s in statuses] == [False, False, True]
+        assert statuses[2].state == "running"
+        assert "median" in statuses[2].note
+
+    def test_lone_running_shard_is_never_a_straggler(self):
+        plan = fake_plan(2, [4, 4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 1.0, done=4, state="done"),
+                heartbeat(1, now - 1.0, done=1, rate=0.01),
+            ],
+            now=now,
+        )
+        assert not statuses[1].straggler
+
+    def test_freshest_heartbeat_wins_per_shard(self):
+        plan = fake_plan(1, [4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 50.0, done=1),
+                heartbeat(0, now - 1.0, done=3, rate=1.0),
+            ],
+            now=now,
+        )
+        assert statuses[0].done == 3
+        assert statuses[0].state == "running"
+
+    def test_render_fleet_shows_bars_and_flags(self):
+        plan = fake_plan(3, [4, 4, 4])
+        now = 1000.0
+        statuses = fleet_status(
+            plan,
+            [
+                heartbeat(0, now - 1.0, done=2, rate=2.0),
+                heartbeat(1, now - 1.0, done=2, rate=2.0),
+                heartbeat(2, now - 120.0, done=1, rate=1.0),
+            ],
+            now=now,
+        )
+        text = render_fleet(plan, statuses)
+        assert "figure 2 (quick)" in text
+        assert "shard 0" in text
+        assert "runs/s" in text
+        assert "ETA" in text
+        assert "DEAD" in text
+        assert "#" in text
+
+    def test_telemetry_paths_live_under_the_store(self, tmp_path):
+        assert shard_ops_path(tmp_path, 2).name == "shard-2.ops.jsonl"
+        assert merge_ops_path(tmp_path).name == "merge.ops.jsonl"
+        assert (
+            heartbeat_path(tmp_path, 2).parent
+            == shard_ops_path(tmp_path, 2).parent
+        )

@@ -96,6 +96,7 @@ class TestVersionEnvironment:
         out = capsys.readouterr().out
         assert platform.python_version() in out
         assert "cpus" in out
+        assert "numpy" in out
 
 
 class TestProgressFlag:
@@ -270,6 +271,11 @@ class TestManifestFlag:
         sweep = payload["sweep"]
         assert sweep["runs"] > 0
         assert sweep["events_fired"] > 0
+        assert sweep["wall_seconds"] > 0
+        assert sweep["cells_per_sec"] == pytest.approx(
+            (sweep["cells_cached"] + sweep["cells_computed"])
+            / sweep["wall_seconds"]
+        )
 
     def test_unwritable_manifest_exits_2(self, capsys, tmp_path):
         # Parse-level smoke for the flag without running a sweep.
@@ -277,6 +283,79 @@ class TestManifestFlag:
             ["reproduce", "--manifest", str(tmp_path / "m.json")]
         )
         assert args.manifest == str(tmp_path / "m.json")
+
+
+class TestOpsCommand:
+    def write_log(self, path):
+        from repro.obs.ops import OpsLog
+
+        clock = iter(float(i) for i in range(100))
+        log = OpsLog(path, clock=lambda: next(clock))
+        with log.span("shard", shard=0):
+            log.record(
+                "cell-run", duration_s=1.0, cell="gop @ 128", seed=7
+            )
+        log.close()
+
+    def test_renders_tree_and_critical_path(self, capsys, tmp_path):
+        path = tmp_path / "shard-0.ops.jsonl"
+        self.write_log(path)
+        assert main(["ops", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out
+        assert "gop @ 128 seed 7" in out
+        assert "critical path" in out
+
+    def test_depth_flag_truncates(self, capsys, tmp_path):
+        path = tmp_path / "shard-0.ops.jsonl"
+        self.write_log(path)
+        assert main(["ops", str(path), "--depth", "1"]) == 0
+        assert "gop @ 128" not in capsys.readouterr().out.split(
+            "critical path"
+        )[0]
+
+    def test_malformed_log_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope", encoding="utf-8")
+        assert main(["ops", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_log_exits_2(self, capsys, tmp_path):
+        assert main(["ops", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepOpsFlags:
+    def test_ops_on_by_default(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "plan.json", "--shard", "0",
+             "--store", "s"]
+        )
+        assert not args.no_ops
+
+    def test_no_ops_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "plan.json", "--shard", "0",
+             "--store", "s", "--no-ops"]
+        )
+        assert args.no_ops
+
+    def test_status_collects_stores(self):
+        args = build_parser().parse_args(
+            ["sweep", "status", "plan.json",
+             "--store", "a", "--store", "b"]
+        )
+        assert args.stores == ["a", "b"]
+        assert not args.watch
+        assert args.interval == 2.0
+        assert args.stale == 30.0
+        assert args.straggler == 0.5
+
+    def test_status_requires_a_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "status", "plan.json"]
+            )
 
 
 class TestCacheFlags:
